@@ -1,0 +1,81 @@
+"""Ablation benches for the DMT design choices called out in DESIGN.md.
+
+The paper motivates three design choices that are easy to ablate:
+
+* the AIC-based robustness threshold ``ε`` (Section V-C) -- a looser
+  threshold grows larger trees;
+* the bounded candidate store (``3·m`` candidates, 50% replacement,
+  Section V-D) -- a smaller budget must not break learning;
+* the simple-model learning rate (Section V-A).
+
+Each ablation runs the DMT on the same drifting stream and reports F1 and
+split counts per configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dmt import DynamicModelTree
+from repro.evaluation.prequential import PrequentialEvaluator
+from repro.streams.realworld import make_surrogate
+
+
+def _run_dmt(**dmt_kwargs):
+    stream = make_surrogate("insects_abrupt", scale=0.004, seed=33)
+    model = DynamicModelTree(random_state=33, **dmt_kwargs)
+    evaluator = PrequentialEvaluator(batch_fraction=0.01)
+    return evaluator.evaluate(model, stream), model
+
+
+@pytest.mark.parametrize("epsilon", [1e-2, 1e-8])
+def test_ablation_aic_threshold(benchmark, epsilon):
+    result, model = benchmark.pedantic(
+        _run_dmt, kwargs={"epsilon": epsilon}, rounds=1, iterations=1
+    )
+    print(
+        f"\nAblation ε={epsilon:g}: F1={result.f1_mean:.3f} "
+        f"splits={model.complexity().n_splits:.0f}"
+    )
+    assert 0.0 <= result.f1_mean <= 1.0
+
+
+@pytest.mark.parametrize("n_candidates_factor", [1, 3])
+def test_ablation_candidate_budget(benchmark, n_candidates_factor):
+    result, model = benchmark.pedantic(
+        _run_dmt,
+        kwargs={"n_candidates_factor": n_candidates_factor},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\nAblation candidate factor={n_candidates_factor}: "
+        f"F1={result.f1_mean:.3f} splits={model.complexity().n_splits:.0f}"
+    )
+    # A smaller candidate budget must not break learning outright.
+    assert result.f1_mean > 0.1
+
+
+@pytest.mark.parametrize("learning_rate", [0.01, 0.05, 0.2])
+def test_ablation_learning_rate(benchmark, learning_rate):
+    result, _ = benchmark.pedantic(
+        _run_dmt, kwargs={"learning_rate": learning_rate}, rounds=1, iterations=1
+    )
+    print(f"\nAblation lr={learning_rate}: F1={result.f1_mean:.3f}")
+    assert np.isfinite(result.f1_mean)
+
+
+def test_ablation_replacement_rate(benchmark):
+    """Candidate replacement keeps the tree adaptive; rate 0 freezes the
+    initially observed candidates."""
+    def run_both():
+        frozen, _ = _run_dmt(replacement_rate=0.0)
+        adaptive, _ = _run_dmt(replacement_rate=0.5)
+        return frozen, adaptive
+
+    frozen, adaptive = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(
+        f"\nAblation replacement: frozen F1={frozen.f1_mean:.3f} "
+        f"adaptive F1={adaptive.f1_mean:.3f}"
+    )
+    assert 0.0 <= frozen.f1_mean <= 1.0
+    assert 0.0 <= adaptive.f1_mean <= 1.0

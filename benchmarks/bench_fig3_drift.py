@@ -1,0 +1,64 @@
+"""Figure 3 -- performance and complexity under concept drift.
+
+Regenerates the time-resolved series of Figure 3: for the four data sets with
+known concept drift (Hyperplane, SEA, Insects-Incremental, TüEyeQ) and every
+stand-alone model, the sliding-window (window = 20) mean of the F1 measure
+and of the log number of splits over the prequential iterations.
+
+Shape targets from the paper:
+
+* the DMT's split trace stays flat (bounded complexity over time), while the
+  unconstrained VFDT's grows monotonically;
+* the DMT's F1 does not collapse around the drift points.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure3_series
+from repro.experiments.registry import FIGURE3_DATASETS
+
+
+def _print_series(series) -> None:
+    for dataset, per_model in series.items():
+        print(f"\nFigure 3 -- {dataset}")
+        for model, traces in per_model.items():
+            f1 = traces["f1_mean"]
+            splits = traces["log_splits_mean"]
+            if len(f1) == 0:
+                continue
+            print(
+                f"  {model:10s} F1 start/mid/end: "
+                f"{f1[0]:.3f}/{f1[len(f1) // 2]:.3f}/{f1[-1]:.3f}   "
+                f"log(splits) start/mid/end: "
+                f"{splits[0]:.2f}/{splits[len(splits) // 2]:.2f}/{splits[-1]:.2f}"
+            )
+
+
+def test_figure3_drift_series(benchmark, standalone_suite):
+    series = benchmark.pedantic(
+        figure3_series,
+        args=(standalone_suite,),
+        kwargs={"datasets": FIGURE3_DATASETS, "window": 20},
+        rounds=1,
+        iterations=1,
+    )
+    _print_series(series)
+
+    assert set(series) == set(FIGURE3_DATASETS) & set(standalone_suite.dataset_names)
+    for dataset, per_model in series.items():
+        for model, traces in per_model.items():
+            assert len(traces["f1_mean"]) == len(traces["f1_std"])
+            assert len(traces["log_splits_mean"]) > 0
+            assert np.all(np.isfinite(traces["log_splits_mean"]))
+            assert np.all((traces["f1_mean"] >= 0) & (traces["f1_mean"] <= 1))
+
+    # Shape target: the DMT's complexity stays bounded over time on the
+    # drifting streams (its final log-split level is not a large multiple of
+    # its mid-stream level).
+    for dataset, per_model in series.items():
+        if "dmt" not in per_model:
+            continue
+        splits = per_model["dmt"]["log_splits_mean"]
+        if len(splits) >= 10:
+            mid = max(splits[len(splits) // 2], np.log(2))
+            assert splits[-1] <= mid + np.log(20)

@@ -1,0 +1,38 @@
+"""Figure 4 -- predictive performance vs. model complexity.
+
+Regenerates the scatter of Figure 4: one point per (stand-alone model, data
+set) with the average log number of splits on the x-axis and the average F1
+measure on the y-axis, plus an ASCII rendering of the scatter.
+
+Shape target: the DMT's points sit towards the upper-left region -- high F1
+at a low split count -- relative to the Hoeffding-tree variants.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import figure4_points, render_figure4_text
+
+
+def test_figure4_tradeoff(benchmark, standalone_suite):
+    points = benchmark.pedantic(
+        figure4_points, args=(standalone_suite,), rounds=1, iterations=1
+    )
+    print("\n" + render_figure4_text(points))
+
+    assert len(points) == len(standalone_suite.model_names) * len(
+        standalone_suite.dataset_names
+    )
+    for point in points:
+        assert 0.0 <= point["avg_f1"] <= 1.0
+        assert np.isfinite(point["avg_log_splits"])
+
+    dmt_points = [p for p in points if p["model_key"] == "dmt"]
+    vfdt_points = [p for p in points if p["model_key"] == "vfdt_mc"]
+    if dmt_points and vfdt_points:
+        dmt_avg_splits = np.mean([p["avg_log_splits"] for p in dmt_points])
+        vfdt_avg_splits = np.mean([p["avg_log_splits"] for p in vfdt_points])
+        dmt_avg_f1 = np.mean([p["avg_f1"] for p in dmt_points])
+        vfdt_avg_f1 = np.mean([p["avg_f1"] for p in vfdt_points])
+        # Upper-left shape: fewer (or equal) splits at no worse predictive
+        # quality, or clearly better predictive quality.
+        assert dmt_avg_splits <= vfdt_avg_splits + 0.5 or dmt_avg_f1 >= vfdt_avg_f1

@@ -1,0 +1,26 @@
+"""Table I -- data-set inventory.
+
+Regenerates the data-set summary of Table I (name, number of samples,
+features, classes, drift type) from the experiment registry and verifies the
+schema against the paper's values.
+"""
+
+from repro.experiments.registry import DATASET_REGISTRY
+from repro.experiments.tables import table1_datasets
+
+
+def test_table1_datasets(benchmark):
+    records, text = benchmark(table1_datasets)
+    print("\n" + text)
+
+    assert len(records) == 13
+    by_name = {record["dataset"]: record for record in records}
+    # Spot-check the schema against Table I of the paper.
+    assert by_name["Electricity"]["n_samples"] == 45_312
+    assert by_name["Electricity"]["n_features"] == 8
+    assert by_name["Gas"]["n_features"] == 128
+    assert by_name["Gas"]["n_classes"] == 6
+    assert by_name["KDDCup"]["n_classes"] == 23
+    assert by_name["Poker-Hand"]["n_classes"] == 9
+    assert by_name["Hyperplane (synthetic, incremental)"]["n_features"] == 50
+    assert len(DATASET_REGISTRY) == 13

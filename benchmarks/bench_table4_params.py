@@ -1,0 +1,27 @@
+"""Table IV -- number of parameters (lower is better).
+
+Regenerates the parameter-count grid of Table IV using the paper's counting
+rules: one parameter per inner node, one per majority-class leaf, ``m`` (per
+class) for linear or Naive Bayes leaves.  Shape target: VFDT (NBA) carries by
+far the largest parameter budget, while the DMT stays within the same order
+of magnitude as FIMT-DD.
+"""
+
+from repro.experiments.tables import table4_parameters
+
+
+def test_table4_parameters(benchmark, standalone_suite):
+    records, text = benchmark.pedantic(
+        table4_parameters, args=(standalone_suite,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+    by_model = {record["model"]: record for record in records}
+    assert all(record["mean"] >= 0 for record in records)
+
+    if {"VFDT (NBA)", "VFDT (MC)"} <= set(by_model):
+        # NBA leaves hold m·c conditional parameters, so the NBA variant must
+        # dominate the majority-class variant.
+        assert by_model["VFDT (NBA)"]["mean"] >= by_model["VFDT (MC)"]["mean"]
+    if {"DMT (ours)", "VFDT (NBA)"} <= set(by_model):
+        assert by_model["DMT (ours)"]["mean"] <= by_model["VFDT (NBA)"]["mean"] * 10

@@ -1,0 +1,25 @@
+"""Table V -- computation time per test/train iteration (lower is better).
+
+Regenerates the per-iteration wall-clock comparison of Table V.  Absolute
+values depend on hardware and on the benchmark scale; the shape target is the
+ordering: the plain VFDT is the fastest tree and the DMT pays a moderate
+overhead for maintaining inner-node models, well below EFDT's re-evaluation
+cost at full scale.
+"""
+
+from repro.experiments.tables import table5_time
+
+
+def test_table5_time(benchmark, standalone_suite):
+    records, text = benchmark.pedantic(
+        table5_time, args=(standalone_suite,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+    by_model = {record["model"]: record for record in records}
+    assert all(record["time_mean"] >= 0.0 for record in records)
+    assert all(record["time_std"] >= 0.0 for record in records)
+
+    if {"VFDT (MC)", "DMT (ours)"} <= set(by_model):
+        # The majority-class VFDT is the cheapest stand-alone model.
+        assert by_model["VFDT (MC)"]["time_mean"] <= by_model["DMT (ours)"]["time_mean"] * 5

@@ -1,0 +1,39 @@
+"""Table VI -- qualitative experiment summary.
+
+Regenerates the ++ / + / − / −− ranking of Table VI across the four
+categories (overall predictive performance, performance under known drift,
+complexity/interpretability, computational efficiency), computed from the
+same runs as Tables II, III and V.
+
+Shape target: the DMT scores at or above the median ("+" or "++") for both
+predictive-performance categories and for complexity, while paying with a
+below-median efficiency score -- the trade-off the paper reports.
+"""
+
+from repro.experiments.tables import table6_summary
+
+
+def test_table6_summary(benchmark, standalone_suite):
+    records, text = benchmark.pedantic(
+        table6_summary, args=(standalone_suite,), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+    assert records
+    valid = {"++", "+", "-", "--"}
+    categories = [key for key in records[0] if key not in ("model", "_raw")]
+    for record in records:
+        for category in categories:
+            assert record[category] in valid
+
+    by_model = {record["model"]: record for record in records}
+    if "DMT (ours)" in by_model:
+        dmt = by_model["DMT (ours)"]
+        positive = {"+", "++"}
+        # At least two of the three quality categories should be positive.
+        quality_scores = [
+            dmt["Overall Pred. Performance"],
+            dmt["Pred. Performance For Known Drift"],
+            dmt["Complexity/Interpretability"],
+        ]
+        assert sum(score in positive for score in quality_scores) >= 2

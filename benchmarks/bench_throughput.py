@@ -1,0 +1,38 @@
+"""Micro-benchmarks: per-iteration throughput of every model.
+
+Complements Table V with a proper pytest-benchmark measurement of a single
+prequential iteration (predict + partial_fit on one 0.1%-sized batch) for
+every registered model on a mid-sized binary stream.  These numbers are the
+ones to watch when optimising the implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import MODEL_REGISTRY, make_model
+from repro.streams.realworld import make_surrogate
+
+
+def _prepare(model_name: str, n_batches: int = 30, batch_size: int = 45):
+    """Warm up a model on an Electricity-like surrogate and return one batch."""
+    stream = make_surrogate("electricity", scale=0.05, seed=7)
+    model = make_model(model_name, seed=7)
+    classes = stream.classes
+    for _ in range(n_batches):
+        X, y = stream.next_sample(batch_size)
+        model.partial_fit(X, y, classes=classes)
+    X_next, y_next = stream.next_sample(batch_size)
+    return model, X_next, y_next, classes
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_REGISTRY))
+def test_iteration_throughput(benchmark, model_name):
+    model, X, y, classes = _prepare(model_name)
+
+    def one_iteration():
+        model.predict(X)
+        model.partial_fit(X, y, classes=classes)
+
+    benchmark(one_iteration)
+    report = model.complexity()
+    assert np.isfinite(report.n_splits)

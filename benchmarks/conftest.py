@@ -1,0 +1,76 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation section from the same grid of prequential runs.  The grid is
+computed once per session by the :func:`suite` fixture and cached.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    Fraction of the original stream lengths to generate (default ``0.01``,
+    i.e. a few thousand observations per data set).  Use ``1.0`` to rerun the
+    paper's full-size streams (hours of compute).
+``REPRO_BENCH_BATCH_FRACTION``
+    Prequential batch size as a fraction of the stream (default ``0.01``;
+    the paper uses ``0.001``, which multiplies the number of iterations by
+    ten).
+``REPRO_BENCH_MODELS`` / ``REPRO_BENCH_DATASETS``
+    Comma-separated registry keys to restrict the grid (default: all).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.registry import DATASET_REGISTRY, MODEL_REGISTRY
+from repro.experiments.runner import ExperimentSuite
+
+
+def _env_tuple(name: str, default: tuple[str, ...]) -> tuple[str, ...]:
+    raw = os.environ.get(name, "")
+    if not raw.strip():
+        return default
+    return tuple(key.strip() for key in raw.split(",") if key.strip())
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+
+def bench_batch_fraction() -> float:
+    return float(os.environ.get("REPRO_BENCH_BATCH_FRACTION", "0.01"))
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """The full (model x data set) grid of prequential runs, computed once."""
+    experiment_suite = ExperimentSuite(
+        model_names=_env_tuple("REPRO_BENCH_MODELS", tuple(MODEL_REGISTRY)),
+        dataset_names=_env_tuple("REPRO_BENCH_DATASETS", tuple(DATASET_REGISTRY)),
+        scale=bench_scale(),
+        seed=42,
+        batch_fraction=bench_batch_fraction(),
+    )
+    experiment_suite.run(verbose=True)
+    return experiment_suite
+
+
+@pytest.fixture(scope="session")
+def standalone_suite(suite: ExperimentSuite) -> ExperimentSuite:
+    """View of the suite restricted to the stand-alone models (Tables III-V)."""
+    standalone = tuple(
+        name for name in suite.model_names if MODEL_REGISTRY[name].group == "standalone"
+    )
+    restricted = ExperimentSuite(
+        model_names=standalone,
+        dataset_names=suite.dataset_names,
+        scale=suite.scale,
+        seed=suite.seed,
+        batch_fraction=suite.batch_fraction,
+    )
+    restricted.results = {
+        key: value for key, value in suite.results.items() if key[0] in standalone
+    }
+    return restricted

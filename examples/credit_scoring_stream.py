@@ -1,0 +1,100 @@
+"""Online credit scoring with interpretable model updates.
+
+The paper motivates the Dynamic Model Tree with high-stakes applications such
+as credit scoring, where (i) the data arrives as a stream, (ii) customer
+behaviour drifts over time, and (iii) every model update must remain
+explainable (GDPR-style accountability).
+
+This example simulates a credit-scoring stream with the Bank-marketing
+surrogate (strongly imbalanced, 16 features), injects an abrupt "policy
+change" drift half-way through, and shows how the DMT
+
+* maintains a high F1 score through the drift,
+* keeps its structure small, and
+* exposes the per-segment linear scorecards (feature weights) that a risk
+  officer could audit after every update.
+
+Run with::
+
+    python examples/credit_scoring_stream.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DynamicModelTree
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.streams.realworld import make_surrogate
+
+
+FEATURE_NAMES = [
+    "age", "job_code", "marital_code", "education_code", "in_default",
+    "balance", "has_housing_loan", "has_personal_loan", "contact_code",
+    "last_contact_day", "last_contact_month", "contact_duration",
+    "n_contacts_campaign", "days_since_prev_campaign", "n_prev_contacts",
+    "prev_outcome_code",
+]
+
+
+def main() -> None:
+    stream = make_surrogate("bank", scale=0.2, seed=7)
+    classes = stream.classes
+    model = DynamicModelTree(learning_rate=0.05, epsilon=1e-8, random_state=7)
+
+    batch_size = max(stream.n_samples // 500, 1)
+    confusion = ConfusionMatrix(classes)
+    drift_at = stream.n_samples // 2
+    f1_before_drift, f1_after_drift = [], []
+
+    print("=== Streaming credit scoring (Bank-marketing surrogate) ===")
+    print(f"{stream.n_samples} applications, {stream.n_features} features, "
+          f"classes = {classes.tolist()} (1 = subscribes / repays)")
+
+    iteration = 0
+    while stream.has_more_samples():
+        X, y = stream.next_sample(batch_size)
+        # Simulated policy change: after the drift point the bank's customers
+        # behave differently on a subset of features.
+        if stream.position > drift_at:
+            X = X.copy()
+            X[:, :4] = 1.0 - X[:, :4]
+
+        if iteration > 0:
+            predictions = model.predict(X)
+            batch_confusion = ConfusionMatrix(classes)
+            batch_confusion.update(y, predictions)
+            confusion.update(y, predictions)
+            target = f1_after_drift if stream.position > drift_at else f1_before_drift
+            target.append(batch_confusion.f1("macro"))
+        model.partial_fit(X, y, classes=classes)
+        iteration += 1
+
+    report = model.complexity()
+    print(f"\noverall prequential F1 (macro): {confusion.f1('macro'):.3f}")
+    print(f"F1 before policy change:        {np.mean(f1_before_drift):.3f}")
+    print(f"F1 after policy change:         {np.mean(f1_after_drift):.3f}")
+    print(f"final tree: {report.n_leaves} customer segments, "
+          f"{report.n_splits} splits, depth {report.depth}")
+
+    print("\nAuditable scorecard per customer segment:")
+    for index, leaf in enumerate(model.leaf_feature_weights()):
+        conditions = " AND ".join(leaf["path"]) if leaf["path"] else "all applicants"
+        weights = leaf["weights"][0]
+        top = np.argsort(-np.abs(weights))[:3]
+        drivers = ", ".join(
+            f"{FEATURE_NAMES[f]} ({weights[f]:+.2f})" for f in top
+        )
+        print(f"  segment {index}: {conditions}")
+        print(f"     main drivers: {drivers}")
+
+    print(
+        "\nEvery split or prune of the DMT corresponds to a measured change in "
+        "the negative log-likelihood, so each of the segments above can be "
+        "traced back to a concrete change in the data -- the online "
+        "interpretability property the paper argues for."
+    )
+
+
+if __name__ == "__main__":
+    main()

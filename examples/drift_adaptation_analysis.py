@@ -1,0 +1,84 @@
+"""Concept-drift adaptation: DMT vs. Hoeffding-tree baselines over time.
+
+Reproduces the style of analysis behind Figure 3 of the paper on a single
+drifting stream: all stand-alone models are evaluated prequentially on the
+Insects-Abrupt surrogate, and their sliding-window F1 and split-count traces
+are printed as compact ASCII sparklines, showing
+
+* how far each model's F1 drops at the abrupt drift points,
+* how quickly it recovers, and
+* how its structural complexity evolves while doing so.
+
+Run with::
+
+    python examples/drift_adaptation_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.prequential import PrequentialEvaluator
+from repro.experiments.registry import STANDALONE_MODELS, MODEL_REGISTRY, make_model
+from repro.streams.realworld import make_surrogate
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Render a numeric trace as a fixed-width ASCII sparkline."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    # Resample to the requested width.
+    positions = np.linspace(0, len(values) - 1, width).astype(int)
+    resampled = values[positions]
+    low, high = resampled.min(), resampled.max()
+    span = (high - low) or 1.0
+    levels = ((resampled - low) / span * (len(_SPARK_CHARS) - 1)).astype(int)
+    return "".join(_SPARK_CHARS[level] for level in levels)
+
+
+def main() -> None:
+    scale = 0.02
+    print("=== Drift adaptation on the Insects-Abrupt surrogate ===")
+    print(f"(stream scaled to {scale:.0%} of the original length; "
+          "5 abrupt drifts spread evenly over the stream)\n")
+
+    results = {}
+    for model_key in STANDALONE_MODELS:
+        stream = make_surrogate("insects_abrupt", scale=scale, seed=3)
+        model = make_model(model_key, seed=3)
+        evaluator = PrequentialEvaluator(batch_fraction=0.005)
+        results[model_key] = evaluator.evaluate(
+            model, stream,
+            model_name=MODEL_REGISTRY[model_key].display_name,
+            dataset_name="Insects-Abrupt",
+        )
+
+    print(f"{'model':12s} {'F1 over time (sliding window 20)':62s} mean")
+    for model_key, result in results.items():
+        f1_mean, _ = result.windowed_f1(window=20)
+        print(f"{model_key:12s} |{sparkline(f1_mean)}| {result.f1_mean:.3f}")
+
+    print(f"\n{'model':12s} {'log(#splits) over time':62s} final")
+    for model_key, result in results.items():
+        log_splits, _ = result.windowed_log_splits(window=20)
+        final_splits = result.n_splits_trace[-1] if result.n_splits_trace else 0
+        print(f"{model_key:12s} |{sparkline(log_splits)}| {final_splits:.0f}")
+
+    dmt = results["dmt"]
+    vfdt = results["vfdt_mc"]
+    print(
+        "\nObservations (compare with Figure 3 of the paper):\n"
+        f"  * DMT mean F1 {dmt.f1_mean:.3f} vs. VFDT(MC) {vfdt.f1_mean:.3f}\n"
+        f"  * DMT final splits {dmt.n_splits_trace[-1]:.0f} vs. "
+        f"VFDT(MC) {vfdt.n_splits_trace[-1]:.0f}\n"
+        "  * at full stream length the gap widens further: the DMT's\n"
+        "    complexity stays bounded across the drifts while unconstrained\n"
+        "    Hoeffding trees keep accumulating splits."
+    )
+
+
+if __name__ == "__main__":
+    main()

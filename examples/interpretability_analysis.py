@@ -1,0 +1,92 @@
+"""Interpretability analysis: Model Tree vs. Hoeffding Tree on a rotating concept.
+
+This example mirrors the conceptual comparison of Figure 1 of the paper: a
+two-dimensional concept whose decision boundary rotates over time.  A
+Hoeffding Tree has to approximate the oblique boundary with many axis-aligned
+splits and must re-grow them after the rotation, while the Dynamic Model Tree
+captures the boundary with the linear models in a handful of leaves and
+adapts by re-fitting those models.
+
+The script prints, for both models and several checkpoints in time,
+
+* the current decision "rule set" (tree structure),
+* its size, and
+* its accuracy on the active concept,
+
+giving a concrete feel for what "interpretable online learning" means.
+
+Run with::
+
+    python examples/interpretability_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dmt import DynamicModelTree
+from repro.trees.vfdt import HoeffdingTreeClassifier
+
+
+def rotating_concept(n: int, angle: float, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """Binary concept separated by a line through (0.5, 0.5) at ``angle`` radians."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, 2))
+    normal = np.array([np.cos(angle), np.sin(angle)])
+    y = ((X - 0.5) @ normal > 0.0).astype(int)
+    return X, y
+
+
+def describe_dmt(model: DynamicModelTree) -> str:
+    lines = []
+    for index, leaf in enumerate(model.leaf_feature_weights()):
+        path = " AND ".join(leaf["path"]) if leaf["path"] else "(all observations)"
+        w = leaf["weights"][0]
+        lines.append(
+            f"    leaf {index}: IF {path} THEN score = "
+            f"{w[0]:+.2f}*x0 {w[1]:+.2f}*x1"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    checkpoints = [0.0, np.pi / 6, np.pi / 3, np.pi / 2]
+    dmt = DynamicModelTree(learning_rate=0.1, random_state=0)
+    vfdt = HoeffdingTreeClassifier(grace_period=100, split_confidence=1e-3)
+
+    print("=== Rotating 2-D concept (Figure 1 style comparison) ===\n")
+    for step, angle in enumerate(checkpoints):
+        X, y = rotating_concept(6000, angle, seed=step)
+        for start in range(0, len(X), 50):
+            batch = slice(start, start + 50)
+            dmt.partial_fit(X[batch], y[batch], classes=[0, 1])
+            vfdt.partial_fit(X[batch], y[batch], classes=[0, 1])
+
+        X_eval, y_eval = rotating_concept(2000, angle, seed=100 + step)
+        dmt_acc = np.mean(dmt.predict(X_eval) == y_eval)
+        vfdt_acc = np.mean(vfdt.predict(X_eval) == y_eval)
+        dmt_c = dmt.complexity()
+        vfdt_c = vfdt.complexity()
+
+        print(f"--- checkpoint {step}: boundary rotated to {np.degrees(angle):.0f}° ---")
+        print(
+            f"  DMT : accuracy {dmt_acc:.3f}  splits {dmt_c.n_splits:.0f}  "
+            f"leaves {dmt_c.n_leaves}  depth {dmt_c.depth}"
+        )
+        print(describe_dmt(dmt))
+        print(
+            f"  VFDT: accuracy {vfdt_acc:.3f}  splits {vfdt_c.n_splits:.0f}  "
+            f"leaves {vfdt_c.n_leaves}  depth {vfdt_c.depth}"
+        )
+        print()
+
+    print(
+        "The DMT tracks the rotating boundary by updating a few linear leaf\n"
+        "models (every change maps to a measured loss reduction), whereas the\n"
+        "Hoeffding Tree accumulates axis-aligned splits for each intermediate\n"
+        "orientation and cannot remove the obsolete ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: train a Dynamic Model Tree on a drifting data stream.
+
+This example shows the three-step workflow of the library:
+
+1. create a stream (here the SEA generator with abrupt concept drift),
+2. run a prequential (test-then-train) evaluation of a Dynamic Model Tree,
+3. inspect predictive quality, complexity and the per-leaf linear models.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DynamicModelTree, HoeffdingTreeClassifier, PrequentialEvaluator
+from repro.streams import NormalizedStream
+from repro.streams.synthetic import SEAGenerator
+
+
+def main() -> None:
+    # ------------------------------------------------------------ 1. stream
+    # 20,000 observations of the SEA concepts with 10% label noise and four
+    # abrupt concept drifts; features are normalised to [0, 1] online, just
+    # like the paper's preprocessing.
+    stream = NormalizedStream(SEAGenerator(n_samples=20_000, noise=0.1, seed=42))
+
+    # ------------------------------------------------------- 2. evaluation
+    model = DynamicModelTree(learning_rate=0.05, epsilon=1e-8, random_state=42)
+    evaluator = PrequentialEvaluator(batch_fraction=0.005)
+    result = evaluator.evaluate(model, stream, model_name="DMT", dataset_name="SEA")
+
+    print("=== Dynamic Model Tree on SEA (abrupt drift) ===")
+    print(f"prequential F1 (mean ± std): {result.f1_mean:.3f} ± {result.f1_std:.3f}")
+    print(f"prequential accuracy:        {result.accuracy_mean:.3f}")
+    print(f"splits (mean over time):     {result.n_splits_mean:.1f}")
+    print(f"parameters (mean over time): {result.n_parameters_mean:.1f}")
+    print(f"seconds per iteration:       {result.time_mean * 1000:.2f} ms")
+
+    # ------------------------------------------------- 3. interpretability
+    report = model.complexity()
+    print("\nFinal tree structure:")
+    print(f"  nodes={report.n_nodes}  leaves={report.n_leaves}  depth={report.depth}")
+    print(f"  splits={report.n_splits}  parameters={report.n_parameters}")
+
+    print("\nPer-leaf linear models (local explanations):")
+    for index, leaf in enumerate(model.leaf_feature_weights()):
+        path = " AND ".join(leaf["path"]) if leaf["path"] else "(root)"
+        weights = ", ".join(f"{w:+.2f}" for w in leaf["weights"][0])
+        print(f"  leaf {index}: {path}")
+        print(f"     weights per feature: [{weights}]  "
+              f"({leaf['n_observations']:.0f} observations)")
+
+    # ------------------------------------------- comparison with a VFDT
+    vfdt = HoeffdingTreeClassifier(leaf_prediction="mc")
+    vfdt_stream = NormalizedStream(SEAGenerator(n_samples=20_000, noise=0.1, seed=42))
+    vfdt_result = evaluator.evaluate(
+        vfdt, vfdt_stream, model_name="VFDT", dataset_name="SEA"
+    )
+    print("\n=== Reference: VFDT (majority-class leaves) on the same stream ===")
+    print(f"prequential F1: {vfdt_result.f1_mean:.3f} ± {vfdt_result.f1_std:.3f}")
+    print(f"splits:         {vfdt_result.n_splits_mean:.1f}")
+    print(
+        "\nThe DMT reaches at least comparable predictive quality with a "
+        "fraction of the structural complexity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+This is the command-line face of the reproduction harness: it runs the full
+(model x data set) prequential grid at a configurable scale and prints
+Tables I-VI plus the data series behind Figures 3 and 4.
+
+Run with::
+
+    python examples/reproduce_paper_tables.py --scale 0.002
+    python examples/reproduce_paper_tables.py --scale 1.0   # full-size (slow)
+
+The same artefacts are produced by the benchmark harness
+(``pytest benchmarks/ --benchmark-only``); this script is the convenient
+stand-alone entry point.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figures import figure3_series, figure4_points, render_figure4_text
+from repro.experiments.registry import DATASET_REGISTRY, MODEL_REGISTRY
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_f1,
+    table3_splits,
+    table4_parameters,
+    table5_time,
+    table6_summary,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", type=float, default=0.002,
+        help="fraction of the original stream lengths to generate (default 0.002)",
+    )
+    parser.add_argument(
+        "--batch-fraction", type=float, default=0.01,
+        help="prequential batch size as a fraction of the stream "
+             "(the paper uses 0.001)",
+    )
+    parser.add_argument(
+        "--models", nargs="*", default=list(MODEL_REGISTRY),
+        choices=list(MODEL_REGISTRY), help="models to evaluate",
+    )
+    parser.add_argument(
+        "--datasets", nargs="*", default=list(DATASET_REGISTRY),
+        choices=list(DATASET_REGISTRY), help="data sets to evaluate",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    suite = ExperimentSuite(
+        model_names=tuple(args.models),
+        dataset_names=tuple(args.datasets),
+        scale=args.scale,
+        seed=args.seed,
+        batch_fraction=args.batch_fraction,
+    )
+    print(
+        f"Running {len(args.models)} models x {len(args.datasets)} data sets "
+        f"at scale {args.scale} ..."
+    )
+    suite.run(verbose=True)
+
+    print("\n" + table1_datasets()[1])
+    print("\n" + table2_f1(suite)[1])
+    print("\n" + table3_splits(suite)[1])
+    print("\n" + table4_parameters(suite)[1])
+    print("\n" + table5_time(suite)[1])
+    print("\n" + table6_summary(suite, standalone_only=True)[1])
+
+    print("\nFigure 3 series (sliding-window F1 / log #splits, end of stream):")
+    for dataset, per_model in figure3_series(suite).items():
+        print(f"  {dataset}:")
+        for model, traces in per_model.items():
+            if len(traces["f1_mean"]) == 0:
+                continue
+            print(
+                f"    {model:10s} final F1 {traces['f1_mean'][-1]:.3f}   "
+                f"final log(splits) {traces['log_splits_mean'][-1]:.2f}"
+            )
+
+    print("\n" + render_figure4_text(figure4_points(suite)))
+
+
+if __name__ == "__main__":
+    main()

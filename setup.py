@@ -1,0 +1,12 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` (or ``python setup.py develop``) also works with
+older setuptools/pip tool-chains that cannot build editable wheels (e.g.
+offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

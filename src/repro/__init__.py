@@ -1,0 +1,45 @@
+"""repro -- reproduction of "Dynamic Model Tree for Interpretable Data Stream Learning".
+
+This package re-implements, from scratch, the Dynamic Model Tree (DMT)
+framework of Haug, Broelemann and Kasneci (ICDE 2022) together with every
+substrate its evaluation depends on: incremental generalized linear models,
+Hoeffding-tree style baselines (VFDT, HT-Ada, EFDT), the FIMT-DD model tree,
+ensemble baselines, concept-drift detectors, synthetic and surrogate stream
+generators, and a prequential evaluation harness with the paper's
+complexity/interpretability accounting.
+
+The most important entry points are:
+
+* :class:`repro.core.DynamicModelTree` -- the paper's contribution.
+* :mod:`repro.trees` -- the baseline incremental decision trees.
+* :mod:`repro.streams` -- stream generators and preprocessing.
+* :class:`repro.evaluation.PrequentialEvaluator` -- test-then-train runs.
+* :mod:`repro.experiments` -- regeneration of every table and figure of the
+  paper's evaluation section.
+"""
+
+from repro.base import StreamClassifier, ComplexityReport
+from repro.core.dmt import DynamicModelTree
+from repro.trees.vfdt import HoeffdingTreeClassifier
+from repro.trees.hat import HoeffdingAdaptiveTreeClassifier
+from repro.trees.efdt import ExtremelyFastDecisionTreeClassifier
+from repro.trees.fimtdd import FIMTDDClassifier
+from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
+from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
+from repro.evaluation.prequential import PrequentialEvaluator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StreamClassifier",
+    "ComplexityReport",
+    "DynamicModelTree",
+    "HoeffdingTreeClassifier",
+    "HoeffdingAdaptiveTreeClassifier",
+    "ExtremelyFastDecisionTreeClassifier",
+    "FIMTDDClassifier",
+    "AdaptiveRandomForestClassifier",
+    "LeveragingBaggingClassifier",
+    "PrequentialEvaluator",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""The Dynamic Model Tree -- the paper's primary contribution."""
+
+from repro.core.dmt import DynamicModelTree
+from repro.core.gains import (
+    aic_prune_threshold,
+    aic_resplit_threshold,
+    aic_split_threshold,
+    approximate_candidate_loss,
+)
+from repro.core.losses import negative_log_likelihood, akaike_information_criterion
+
+__all__ = [
+    "DynamicModelTree",
+    "approximate_candidate_loss",
+    "aic_split_threshold",
+    "aic_resplit_threshold",
+    "aic_prune_threshold",
+    "negative_log_likelihood",
+    "akaike_information_criterion",
+]

@@ -1,0 +1,300 @@
+"""Split-candidate statistics and bounded candidate storage for the DMT.
+
+Every node of a Dynamic Model Tree evaluates split candidates, i.e.
+``(feature, threshold)`` pairs.  For each stored candidate the node keeps the
+accumulated loss, gradient and count of the *parent* model restricted to the
+left partition (``x[feature] <= threshold``); right-partition statistics are
+recovered by subtracting from the node totals (Algorithm 1).
+
+Because the number of distinct candidates can grow quickly for continuous
+features, the DMT stores only a bounded number of candidate statistics
+(default ``3 · m``) and allows a fixed fraction of them (default 50%) to be
+replaced by newly observed candidates at every time step (Section V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gains import approximate_candidate_loss, split_gain
+
+
+@dataclass
+class CandidateStatistics:
+    """Accumulated left-partition statistics of one split candidate."""
+
+    feature: int
+    threshold: float
+    loss: float = 0.0
+    gradient: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    count: float = 0.0
+
+    @property
+    def key(self) -> tuple[int, float]:
+        return (self.feature, self.threshold)
+
+    def add(self, loss: float, gradient: np.ndarray, count: float) -> None:
+        """Accumulate the statistics of a new batch."""
+        self.loss += float(loss)
+        if self.gradient.size == 0:
+            self.gradient = np.asarray(gradient, dtype=float).copy()
+        else:
+            self.gradient = self.gradient + gradient
+        self.count += float(count)
+
+    def gain(
+        self,
+        node_loss: float,
+        node_gradient: np.ndarray,
+        node_count: float,
+        learning_rate: float,
+        reference_loss: float | None = None,
+    ) -> float:
+        """Loss-based gain of this candidate.
+
+        Parameters
+        ----------
+        node_loss, node_gradient, node_count:
+            Accumulated statistics of the node owning this candidate.  The
+            right-child statistics are derived as node minus left.
+        learning_rate:
+            SGD step size used in the candidate-loss approximation.
+        reference_loss:
+            The loss the candidate competes against.  For a leaf node this is
+            the node's own loss (equation (3)); for an inner node it is the
+            summed loss of the subtree's leaves (equation (4)).  Defaults to
+            ``node_loss``.
+        """
+        if reference_loss is None:
+            reference_loss = node_loss
+        left_loss = approximate_candidate_loss(
+            self.loss, self.gradient, self.count, learning_rate
+        )
+        right_gradient = (
+            node_gradient - self.gradient
+            if self.gradient.size
+            else node_gradient
+        )
+        right_loss = approximate_candidate_loss(
+            node_loss - self.loss,
+            right_gradient,
+            node_count - self.count,
+            learning_rate,
+        )
+        return split_gain(reference_loss, left_loss, right_loss)
+
+
+class CandidateManager:
+    """Bounded store of split-candidate statistics for one DMT node.
+
+    Parameters
+    ----------
+    n_features:
+        Number of input features ``m``.
+    max_candidates:
+        Maximum number of candidate statistics kept in memory.  The paper
+        recommends ``3 · m``.
+    replacement_rate:
+        Fraction of the stored candidates that may be replaced by newly
+        observed candidates at each time step (the paper recommends 0.5).
+    max_values_per_feature:
+        Cap on the number of distinct thresholds proposed per feature from a
+        single batch.  If a batch contains more unique values, evenly spaced
+        quantiles are used instead; this mirrors how practical incremental
+        trees bound the candidate space for continuous features.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        max_candidates: int | None = None,
+        replacement_rate: float = 0.5,
+        max_values_per_feature: int = 10,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features}.")
+        if not 0.0 <= replacement_rate <= 1.0:
+            raise ValueError(
+                f"replacement_rate must be in [0, 1], got {replacement_rate!r}."
+            )
+        if max_values_per_feature < 1:
+            raise ValueError(
+                "max_values_per_feature must be >= 1, "
+                f"got {max_values_per_feature!r}."
+            )
+        self.n_features = int(n_features)
+        self.max_candidates = (
+            3 * self.n_features if max_candidates is None else int(max_candidates)
+        )
+        if self.max_candidates < 1:
+            raise ValueError(
+                f"max_candidates must be >= 1, got {self.max_candidates!r}."
+            )
+        self.replacement_rate = float(replacement_rate)
+        self.max_values_per_feature = int(max_values_per_feature)
+        self._candidates: dict[tuple[int, float], CandidateStatistics] = {}
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def __contains__(self, key: tuple[int, float]) -> bool:
+        return key in self._candidates
+
+    @property
+    def candidates(self) -> list[CandidateStatistics]:
+        return list(self._candidates.values())
+
+    def get(self, key: tuple[int, float]) -> CandidateStatistics | None:
+        return self._candidates.get(key)
+
+    def clear(self) -> None:
+        self._candidates.clear()
+
+    # -------------------------------------------------------------- updates
+    def propose_thresholds(self, X: np.ndarray) -> dict[int, np.ndarray]:
+        """Candidate thresholds per feature observed in the current batch."""
+        X = np.asarray(X, dtype=float)
+        proposals: dict[int, np.ndarray] = {}
+        for feature in range(self.n_features):
+            values = np.unique(X[:, feature])
+            if len(values) > self.max_values_per_feature:
+                quantiles = np.linspace(0.0, 1.0, self.max_values_per_feature + 2)[
+                    1:-1
+                ]
+                values = np.unique(np.quantile(values, quantiles))
+            proposals[feature] = values
+        return proposals
+
+    def update_stored(
+        self,
+        X: np.ndarray,
+        per_sample_loss: np.ndarray,
+        per_sample_gradient: np.ndarray,
+    ) -> None:
+        """Accumulate the current batch into every stored candidate."""
+        X = np.asarray(X, dtype=float)
+        for candidate in self._candidates.values():
+            mask = X[:, candidate.feature] <= candidate.threshold
+            if not np.any(mask):
+                continue
+            candidate.add(
+                loss=float(per_sample_loss[mask].sum()),
+                gradient=per_sample_gradient[mask].sum(axis=0),
+                count=float(mask.sum()),
+            )
+
+    def consider_new(
+        self,
+        X: np.ndarray,
+        per_sample_loss: np.ndarray,
+        per_sample_gradient: np.ndarray,
+        node_loss: float,
+        node_gradient: np.ndarray,
+        node_count: float,
+        learning_rate: float,
+        reference_loss: float | None = None,
+    ) -> None:
+        """Propose new candidates from the current batch and admit the best.
+
+        New candidates are scored on the current batch only (their statistics
+        start from this batch, as described in Section V-D); they replace the
+        lowest-gain stored candidates, bounded by the replacement budget.
+        """
+        X = np.asarray(X, dtype=float)
+        batch_loss = float(per_sample_loss.sum())
+        batch_gradient = per_sample_gradient.sum(axis=0)
+        batch_count = float(len(per_sample_loss))
+
+        fresh: list[CandidateStatistics] = []
+        for feature, thresholds in self.propose_thresholds(X).items():
+            for threshold in thresholds:
+                key = (feature, float(threshold))
+                if key in self._candidates:
+                    continue
+                mask = X[:, feature] <= threshold
+                if not np.any(mask) or np.all(mask):
+                    # A candidate that does not separate the batch carries no
+                    # information yet.
+                    continue
+                candidate = CandidateStatistics(
+                    feature=feature, threshold=float(threshold)
+                )
+                candidate.add(
+                    loss=float(per_sample_loss[mask].sum()),
+                    gradient=per_sample_gradient[mask].sum(axis=0),
+                    count=float(mask.sum()),
+                )
+                fresh.append(candidate)
+
+        if not fresh:
+            return
+
+        def batch_gain(candidate: CandidateStatistics) -> float:
+            return candidate.gain(
+                node_loss=batch_loss,
+                node_gradient=batch_gradient,
+                node_count=batch_count,
+                learning_rate=learning_rate,
+            )
+
+        fresh.sort(key=batch_gain, reverse=True)
+
+        free_slots = self.max_candidates - len(self._candidates)
+        for candidate in fresh[: max(free_slots, 0)]:
+            self._candidates[candidate.key] = candidate
+        fresh = fresh[max(free_slots, 0):]
+        if not fresh:
+            return
+
+        # Replace the weakest stored candidates, bounded by the budget.
+        budget = int(np.floor(self.replacement_rate * self.max_candidates))
+        if budget <= 0:
+            return
+        stored = sorted(
+            self._candidates.values(),
+            key=lambda cand: cand.gain(
+                node_loss=node_loss,
+                node_gradient=node_gradient,
+                node_count=node_count,
+                learning_rate=learning_rate,
+                reference_loss=reference_loss,
+            ),
+        )
+        replaced = 0
+        for weakest, newcomer in zip(stored, fresh):
+            if replaced >= budget:
+                break
+            del self._candidates[weakest.key]
+            self._candidates[newcomer.key] = newcomer
+            replaced += 1
+
+    # ---------------------------------------------------------------- query
+    def best_candidate(
+        self,
+        node_loss: float,
+        node_gradient: np.ndarray,
+        node_count: float,
+        learning_rate: float,
+        reference_loss: float | None = None,
+        exclude: tuple[int, float] | None = None,
+    ) -> tuple[CandidateStatistics | None, float]:
+        """Return the stored candidate with the highest gain and its gain."""
+        best: CandidateStatistics | None = None
+        best_gain = -np.inf
+        for candidate in self._candidates.values():
+            if exclude is not None and candidate.key == exclude:
+                continue
+            gain = candidate.gain(
+                node_loss=node_loss,
+                node_gradient=node_gradient,
+                node_count=node_count,
+                learning_rate=learning_rate,
+                reference_loss=reference_loss,
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best = candidate
+        return best, best_gain

@@ -1,0 +1,16 @@
+"""Concept-drift detectors.
+
+The Dynamic Model Tree itself needs *no* drift detector -- adaptation is
+handled by its gain functions.  The baselines do: HT-Ada and the ensembles
+use ADWIN, FIMT-DD uses the Page-Hinkley test.  DDM is included for
+completeness and for ablation experiments.
+"""
+
+from repro.drift.base import BaseDriftDetector
+from repro.drift.adwin import ADWIN
+from repro.drift.page_hinkley import PageHinkley
+from repro.drift.ddm import DDM
+from repro.drift.eddm import EDDM
+from repro.drift.kswin import KSWIN
+
+__all__ = ["BaseDriftDetector", "ADWIN", "PageHinkley", "DDM", "EDDM", "KSWIN"]

@@ -1,0 +1,210 @@
+"""ADWIN -- ADaptive WINdowing drift detector (Bifet & Gavaldà, 2007).
+
+ADWIN maintains a variable-length window of recent values, stored as an
+exponential histogram of buckets.  Whenever two adjacent sub-windows exhibit
+a mean difference larger than a bound derived from the Hoeffding/Bernstein
+inequality, the older sub-window is dropped and a drift is signalled.
+
+This implementation follows the published algorithm (bucket rows with at most
+``max_buckets`` buckets per row, each bucket in row ``i`` summarising ``2^i``
+values) and is used by the Hoeffding Adaptive Tree, the Adaptive Random
+Forest and Leveraging Bagging baselines.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.drift.base import BaseDriftDetector
+
+
+class _BucketRow:
+    """A row of buckets that all summarise the same number of values."""
+
+    __slots__ = ("totals", "variances")
+
+    def __init__(self) -> None:
+        self.totals: list[float] = []
+        self.variances: list[float] = []
+
+    def append(self, total: float, variance: float) -> None:
+        self.totals.append(total)
+        self.variances.append(variance)
+
+    def drop_front(self, count: int = 1) -> None:
+        del self.totals[:count]
+        del self.variances[:count]
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+
+class ADWIN(BaseDriftDetector):
+    """Adaptive sliding-window change detector.
+
+    Parameters
+    ----------
+    delta:
+        Confidence parameter of the statistical test; smaller values make the
+        detector more conservative.
+    max_buckets:
+        Maximum number of buckets per exponential-histogram row.
+    min_window_length:
+        Minimum length of each sub-window considered in a cut check.
+    clock:
+        Number of observations between change checks (the canonical
+        implementation checks every 32 values).
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.002,
+        max_buckets: int = 5,
+        min_window_length: int = 5,
+        clock: int = 32,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta!r}.")
+        self.delta = float(delta)
+        self.max_buckets = int(max_buckets)
+        self.min_window_length = int(min_window_length)
+        self.clock = int(clock)
+        self._rows: list[_BucketRow] = [_BucketRow()]
+        self.width = 0
+        self.total = 0.0
+        self.variance = 0.0
+        self._tick = 0
+
+    # ----------------------------------------------------------- properties
+    @property
+    def mean(self) -> float:
+        """Mean of the values currently inside the adaptive window."""
+        return self.total / self.width if self.width > 0 else 0.0
+
+    @property
+    def estimation(self) -> float:
+        """Alias of :attr:`mean` (name used by the tree/ensemble code)."""
+        return self.mean
+
+    # -------------------------------------------------------------- updates
+    def update(self, value: float) -> bool:
+        """Insert one value; return ``True`` if the window was cut (drift)."""
+        self.n_observations += 1
+        self._tick += 1
+        self._insert(float(value))
+        self.in_drift = False
+        if self._tick >= self.clock and self.width >= 2 * self.min_window_length:
+            self._tick = 0
+            self.in_drift = self._detect_change_and_shrink()
+        return self.in_drift
+
+    def _insert(self, value: float) -> None:
+        if self.width > 0:
+            old_mean = self.total / self.width
+            self.variance += (
+                (self.width / (self.width + 1.0)) * (value - old_mean) ** 2
+            )
+        self.width += 1
+        self.total += value
+        self._rows[0].append(value, 0.0)
+        self._compress()
+
+    def _compress(self) -> None:
+        row_idx = 0
+        while row_idx < len(self._rows):
+            row = self._rows[row_idx]
+            if len(row) <= self.max_buckets:
+                break
+            if row_idx + 1 == len(self._rows):
+                self._rows.append(_BucketRow())
+            next_row = self._rows[row_idx + 1]
+            size = 2**row_idx
+            total_1, total_2 = row.totals[0], row.totals[1]
+            var_1, var_2 = row.variances[0], row.variances[1]
+            mean_1, mean_2 = total_1 / size, total_2 / size
+            merged_variance = (
+                var_1 + var_2 + size * size * (mean_1 - mean_2) ** 2 / (2.0 * size)
+            )
+            next_row.append(total_1 + total_2, merged_variance)
+            row.drop_front(2)
+            row_idx += 1
+
+    # ---------------------------------------------------------- change test
+    def _detect_change_and_shrink(self) -> bool:
+        """Check every admissible cut point; drop old buckets when cut."""
+        change_detected = False
+        keep_checking = True
+        while keep_checking:
+            keep_checking = False
+            # Scan cut points from oldest to newest bucket.
+            n0, sum0 = 0.0, 0.0
+            n1, sum1 = float(self.width), float(self.total)
+            for row_idx in range(len(self._rows) - 1, -1, -1):
+                row = self._rows[row_idx]
+                size = float(2**row_idx)
+                for bucket_idx in range(len(row)):
+                    n0 += size
+                    sum0 += row.totals[bucket_idx]
+                    n1 -= size
+                    sum1 -= row.totals[bucket_idx]
+                    if n1 < self.min_window_length:
+                        break
+                    if n0 < self.min_window_length:
+                        continue
+                    mean0, mean1 = sum0 / n0, sum1 / n1
+                    if self._cut_expression(n0, n1, mean0, mean1):
+                        change_detected = True
+                        keep_checking = True
+                        self._drop_oldest_bucket()
+                        break
+                if keep_checking:
+                    break
+        return change_detected
+
+    def _cut_expression(
+        self, n0: float, n1: float, mean0: float, mean1: float
+    ) -> bool:
+        total_n = float(self.width)
+        if total_n <= 1:
+            return False
+        harmonic = 1.0 / n0 + 1.0 / n1
+        delta_prime = self.delta / math.log(max(total_n, math.e))
+        window_variance = self.variance / self.width
+        m = 1.0 / harmonic
+        epsilon = math.sqrt(
+            (2.0 / m) * window_variance * math.log(2.0 / delta_prime)
+        ) + (2.0 / (3.0 * m)) * math.log(2.0 / delta_prime)
+        return abs(mean0 - mean1) > epsilon
+
+    def _drop_oldest_bucket(self) -> None:
+        for row_idx in range(len(self._rows) - 1, -1, -1):
+            row = self._rows[row_idx]
+            if len(row) == 0:
+                continue
+            size = 2**row_idx
+            total = row.totals[0]
+            variance = row.variances[0]
+            mean = total / size
+            if self.width > size:
+                window_mean = self.total / self.width
+                self.variance -= variance + (
+                    size
+                    * (self.width - size)
+                    / self.width
+                    * (mean - (self.total - total) / (self.width - size)) ** 2
+                )
+                self.variance = max(self.variance, 0.0)
+            self.width -= size
+            self.total -= total
+            row.drop_front(1)
+            break
+
+    def reset(self) -> "ADWIN":
+        super().reset()
+        self._rows = [_BucketRow()]
+        self.width = 0
+        self.total = 0.0
+        self.variance = 0.0
+        self._tick = 0
+        return self

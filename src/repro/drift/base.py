@@ -1,0 +1,31 @@
+"""Common interface of all concept-drift detectors."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class BaseDriftDetector(ABC):
+    """Streaming change detector over a univariate signal.
+
+    Detectors consume one value at a time via :meth:`update` (typically a
+    0/1 error indicator or a residual) and expose two flags:
+    :attr:`in_drift` (change detected at the current step) and
+    :attr:`in_warning` (early warning where supported).
+    """
+
+    def __init__(self) -> None:
+        self.in_drift = False
+        self.in_warning = False
+        self.n_observations = 0
+
+    @abstractmethod
+    def update(self, value: float) -> bool:
+        """Add one observation; return ``True`` when drift is detected."""
+
+    def reset(self) -> "BaseDriftDetector":
+        """Restore the initial state."""
+        self.in_drift = False
+        self.in_warning = False
+        self.n_observations = 0
+        return self

@@ -1,0 +1,90 @@
+"""DDM -- Drift Detection Method (Gama et al., 2004).
+
+Monitors the error rate of a classifier as a Bernoulli process.  When the
+observed error rate plus its standard deviation exceeds the historical
+minimum by two (warning) or three (drift) standard deviations, the detector
+raises the corresponding flag.  Included as an extra substrate for ablation
+experiments; none of the paper's headline baselines rely on it directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.drift.base import BaseDriftDetector
+
+
+class DDM(BaseDriftDetector):
+    """Drift Detection Method over a stream of 0/1 error indicators.
+
+    Parameters
+    ----------
+    min_observations:
+        Number of observations before the detector may fire.
+    warning_level:
+        Number of standard deviations for the warning zone (default 2).
+    drift_level:
+        Number of standard deviations for the drift signal (default 3).
+    """
+
+    def __init__(
+        self,
+        min_observations: int = 30,
+        warning_level: float = 2.0,
+        drift_level: float = 3.0,
+    ) -> None:
+        super().__init__()
+        if warning_level >= drift_level:
+            raise ValueError(
+                "warning_level must be smaller than drift_level "
+                f"(got {warning_level!r} >= {drift_level!r})."
+            )
+        self.min_observations = int(min_observations)
+        self.warning_level = float(warning_level)
+        self.drift_level = float(drift_level)
+        self._error_rate = 0.0
+        self._std = 0.0
+        self._min_error_rate = math.inf
+        self._min_std = math.inf
+
+    def update(self, value: float) -> bool:
+        """Add one error indicator (1 = misclassified, 0 = correct)."""
+        value = float(value)
+        if value not in (0.0, 1.0):
+            raise ValueError(f"DDM expects 0/1 error indicators, got {value!r}.")
+        self.n_observations += 1
+        self._error_rate += (value - self._error_rate) / self.n_observations
+        self._std = math.sqrt(
+            max(self._error_rate * (1.0 - self._error_rate), 0.0)
+            / self.n_observations
+        )
+
+        self.in_drift = False
+        self.in_warning = False
+        if self.n_observations < self.min_observations:
+            return False
+
+        if self._error_rate + self._std <= self._min_error_rate + self._min_std:
+            self._min_error_rate = self._error_rate
+            self._min_std = self._std
+
+        level = self._error_rate + self._std
+        baseline = self._min_error_rate
+        if level > baseline + self.drift_level * self._min_std:
+            self.in_drift = True
+            self._reset_statistics()
+        elif level > baseline + self.warning_level * self._min_std:
+            self.in_warning = True
+        return self.in_drift
+
+    def _reset_statistics(self) -> None:
+        self.n_observations = 0
+        self._error_rate = 0.0
+        self._std = 0.0
+        self._min_error_rate = math.inf
+        self._min_std = math.inf
+
+    def reset(self) -> "DDM":
+        super().reset()
+        self._reset_statistics()
+        return self

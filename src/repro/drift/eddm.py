@@ -1,0 +1,92 @@
+"""EDDM -- Early Drift Detection Method (Baena-García et al., 2006).
+
+EDDM monitors the distance (number of observations) between consecutive
+classification errors.  Under a stable concept this distance grows as the
+model improves; when a concept drifts, errors cluster and the distance
+shrinks.  EDDM is particularly sensitive to gradual drift, complementing DDM.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.drift.base import BaseDriftDetector
+
+
+class EDDM(BaseDriftDetector):
+    """Early Drift Detection Method over a stream of 0/1 error indicators.
+
+    Parameters
+    ----------
+    warning_level:
+        Ratio threshold below which the warning flag is raised (default 0.95).
+    drift_level:
+        Ratio threshold below which drift is signalled (default 0.90).
+    min_errors:
+        Minimum number of observed errors before the test may fire.
+    """
+
+    def __init__(
+        self,
+        warning_level: float = 0.95,
+        drift_level: float = 0.90,
+        min_errors: int = 30,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < drift_level < warning_level <= 1.0:
+            raise ValueError(
+                "Levels must satisfy 0 < drift_level < warning_level <= 1, "
+                f"got drift={drift_level!r}, warning={warning_level!r}."
+            )
+        self.warning_level = float(warning_level)
+        self.drift_level = float(drift_level)
+        self.min_errors = int(min_errors)
+        self._reset_statistics()
+
+    def _reset_statistics(self) -> None:
+        self.n_observations = 0
+        self._n_errors = 0
+        self._last_error_at = 0
+        self._distance_mean = 0.0
+        self._distance_m2 = 0.0
+        self._max_score = 0.0
+
+    def update(self, value: float) -> bool:
+        """Add one error indicator (1 = misclassified, 0 = correct)."""
+        value = float(value)
+        if value not in (0.0, 1.0):
+            raise ValueError(f"EDDM expects 0/1 error indicators, got {value!r}.")
+        self.n_observations += 1
+        self.in_drift = False
+        self.in_warning = False
+        if value != 1.0:
+            return False
+
+        self._n_errors += 1
+        distance = self.n_observations - self._last_error_at
+        self._last_error_at = self.n_observations
+        delta = distance - self._distance_mean
+        self._distance_mean += delta / self._n_errors
+        self._distance_m2 += delta * (distance - self._distance_mean)
+
+        if self._n_errors < self.min_errors:
+            return False
+
+        std = math.sqrt(max(self._distance_m2 / self._n_errors, 0.0))
+        score = self._distance_mean + 2.0 * std
+        self._max_score = max(self._max_score, score)
+        if self._max_score <= 0:
+            return False
+        ratio = score / self._max_score
+
+        if ratio < self.drift_level:
+            self.in_drift = True
+            self._reset_statistics()
+        elif ratio < self.warning_level:
+            self.in_warning = True
+        return self.in_drift
+
+    def reset(self) -> "EDDM":
+        super().reset()
+        self._reset_statistics()
+        return self

@@ -1,0 +1,98 @@
+"""KSWIN -- Kolmogorov-Smirnov Windowing drift detector (Raab et al., 2020).
+
+KSWIN keeps a sliding window of the most recent values and compares the
+distribution of the newest ``stat_size`` values against a random sample of
+the older part of the window with a two-sample Kolmogorov-Smirnov test.  It
+detects changes in the full distribution of the monitored signal, not only in
+its mean, and is a useful extra baseline for drift-detection ablations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.drift.base import BaseDriftDetector
+from repro.utils.validation import check_random_state
+
+
+def _ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (maximum ECDF distance)."""
+    all_values = np.concatenate([sample_a, sample_b])
+    cdf_a = np.searchsorted(np.sort(sample_a), all_values, side="right") / len(sample_a)
+    cdf_b = np.searchsorted(np.sort(sample_b), all_values, side="right") / len(sample_b)
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+class KSWIN(BaseDriftDetector):
+    """Kolmogorov-Smirnov windowing change detector.
+
+    Parameters
+    ----------
+    alpha:
+        Significance level of the KS test (probability of a false alarm per
+        test; typical values are 0.001-0.01).
+    window_size:
+        Total number of recent values kept.
+    stat_size:
+        Number of newest values compared against the older part.
+    seed:
+        Seed for the random sub-sample of the older window part.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.005,
+        window_size: int = 100,
+        stat_size: int = 30,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__()
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha!r}.")
+        if stat_size >= window_size:
+            raise ValueError(
+                "stat_size must be smaller than window_size, "
+                f"got {stat_size!r} >= {window_size!r}."
+            )
+        self.alpha = float(alpha)
+        self.window_size = int(window_size)
+        self.stat_size = int(stat_size)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+        self._window: list[float] = []
+
+    @property
+    def window(self) -> np.ndarray:
+        return np.asarray(self._window)
+
+    def update(self, value: float) -> bool:
+        """Add one observation; drift is flagged when the KS test rejects."""
+        self.n_observations += 1
+        self.in_drift = False
+        self._window.append(float(value))
+        if len(self._window) > self.window_size:
+            self._window.pop(0)
+        if len(self._window) < self.window_size:
+            return False
+
+        recent = np.asarray(self._window[-self.stat_size:])
+        older = np.asarray(self._window[: -self.stat_size])
+        sampled = self._rng.choice(older, size=self.stat_size, replace=False)
+        statistic = _ks_statistic(recent, sampled)
+        # KS critical value for two samples of size n: c(alpha) * sqrt(2/n).
+        critical = math.sqrt(-0.5 * math.log(self.alpha / 2.0)) * math.sqrt(
+            2.0 / self.stat_size
+        )
+        if statistic > critical:
+            self.in_drift = True
+            # Keep only the newest values: the old concept is discarded.
+            self._window = self._window[-self.stat_size:]
+        return self.in_drift
+
+    def reset(self) -> "KSWIN":
+        super().reset()
+        self._window = []
+        self._rng = check_random_state(self.seed)
+        return self

@@ -1,0 +1,81 @@
+"""Page-Hinkley test for concept-drift detection.
+
+FIMT-DD (Ikonomovska et al., 2011) uses the Page-Hinkley test on the absolute
+prediction error of its inner nodes to decide when a branch has become
+obsolete.  The test tracks the cumulative deviation of the signal from its
+running mean and signals a change when the deviation exceeds a threshold.
+"""
+
+from __future__ import annotations
+
+from repro.drift.base import BaseDriftDetector
+
+
+class PageHinkley(BaseDriftDetector):
+    """One-sided Page-Hinkley change detector (detects increases).
+
+    Parameters
+    ----------
+    delta:
+        Magnitude of changes that should be ignored (tolerance term).
+    threshold:
+        Detection threshold ``λ``; larger values mean fewer false alarms but
+        slower detection.
+    alpha:
+        Forgetting factor applied to the cumulative statistic (1.0 disables
+        forgetting, matching the classical test).
+    min_observations:
+        Number of observations required before the test may fire.
+    """
+
+    def __init__(
+        self,
+        delta: float = 0.005,
+        threshold: float = 50.0,
+        alpha: float = 1.0,
+        min_observations: int = 30,
+    ) -> None:
+        super().__init__()
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta!r}.")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold!r}.")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}.")
+        self.delta = float(delta)
+        self.threshold = float(threshold)
+        self.alpha = float(alpha)
+        self.min_observations = int(min_observations)
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Add one observation of the monitored signal."""
+        value = float(value)
+        self.n_observations += 1
+        # Running mean of the signal.
+        self._mean += (value - self._mean) / self.n_observations
+        self._cumulative = (
+            self.alpha * self._cumulative + (value - self._mean - self.delta)
+        )
+        self._minimum = min(self._minimum, self._cumulative)
+
+        self.in_drift = (
+            self.n_observations >= self.min_observations
+            and self._cumulative - self._minimum > self.threshold
+        )
+        if self.in_drift:
+            self._reset_statistics()
+        return self.in_drift
+
+    def _reset_statistics(self) -> None:
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+        self.n_observations = 0
+
+    def reset(self) -> "PageHinkley":
+        super().reset()
+        self._reset_statistics()
+        return self

@@ -1,0 +1,16 @@
+"""Ensemble baselines built on Hoeffding Trees.
+
+The paper reports two state-of-the-art ensembles for reference: an Adaptive
+Random Forest and a Leveraging Bagging ensemble, each trained with three
+basic Hoeffding Tree weak learners configured like the stand-alone VFDT.
+"""
+
+from repro.ensembles.bagging import OzaBaggingClassifier
+from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
+from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
+
+__all__ = [
+    "OzaBaggingClassifier",
+    "LeveragingBaggingClassifier",
+    "AdaptiveRandomForestClassifier",
+]

@@ -1,0 +1,26 @@
+"""Evaluation: metrics, prequential protocol and complexity accounting."""
+
+from repro.evaluation.metrics import (
+    ConfusionMatrix,
+    accuracy_score,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.evaluation.holdout import HoldoutEvaluator, HoldoutResult
+from repro.evaluation.complexity import sliding_window_aggregate, summarize_trace
+
+__all__ = [
+    "ConfusionMatrix",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "PrequentialEvaluator",
+    "PrequentialResult",
+    "HoldoutEvaluator",
+    "HoldoutResult",
+    "sliding_window_aggregate",
+    "summarize_trace",
+]

@@ -1,0 +1,39 @@
+"""Aggregation helpers for metric and complexity traces.
+
+The paper reports mean ± standard deviation of per-iteration values (Tables
+II-V) and sliding-window aggregations with a window of 20 iterations for the
+time-series plots (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def summarize_trace(values) -> tuple[float, float]:
+    """Mean and standard deviation of a per-iteration trace."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return 0.0, 0.0
+    return float(array.mean()), float(array.std())
+
+
+def sliding_window_aggregate(
+    values, window: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Trailing-window mean and standard deviation of a trace.
+
+    Matches the aggregation used for Figure 3 of the paper: at position ``i``
+    the mean/std of the last ``window`` values (or all values seen so far,
+    when fewer are available) is reported.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}.")
+    means = np.empty(array.size)
+    stds = np.empty(array.size)
+    for index in range(array.size):
+        chunk = array[max(index - window + 1, 0) : index + 1]
+        means[index] = chunk.mean()
+        stds[index] = chunk.std()
+    return means, stds

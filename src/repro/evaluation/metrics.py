@@ -1,0 +1,137 @@
+"""Classification metrics for (imbalanced) streaming evaluation.
+
+The paper reports the F1 measure because many of the evaluated data sets are
+imbalanced; the implementation here provides macro- and weighted-averaged
+precision, recall and F1 on top of a confusion matrix that can be updated
+incrementally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ConfusionMatrix:
+    """Incrementally updatable confusion matrix over a fixed class space."""
+
+    def __init__(self, classes: np.ndarray) -> None:
+        self.classes = np.asarray(classes)
+        if len(self.classes) < 2:
+            raise ValueError("At least two classes are required.")
+        size = len(self.classes)
+        self.matrix = np.zeros((size, size), dtype=float)
+
+    def _index(self, labels: np.ndarray) -> np.ndarray:
+        indices = np.searchsorted(self.classes, labels)
+        indices = np.clip(indices, 0, len(self.classes) - 1)
+        valid = self.classes[indices] == labels
+        if not np.all(valid):
+            unknown = np.asarray(labels)[~valid]
+            raise ValueError(f"Unknown labels encountered: {np.unique(unknown)}.")
+        return indices
+
+    def update(self, y_true: np.ndarray, y_pred: np.ndarray) -> "ConfusionMatrix":
+        y_true = np.asarray(y_true)
+        y_pred = np.asarray(y_pred)
+        if len(y_true) != len(y_pred):
+            raise ValueError("y_true and y_pred have inconsistent lengths.")
+        rows = self._index(y_true)
+        cols = self._index(y_pred)
+        np.add.at(self.matrix, (rows, cols), 1.0)
+        return self
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def total(self) -> float:
+        return float(self.matrix.sum())
+
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return float(np.trace(self.matrix) / self.total)
+
+    def per_class_precision(self) -> np.ndarray:
+        predicted = self.matrix.sum(axis=0)
+        correct = np.diag(self.matrix)
+        return np.divide(
+            correct, predicted, out=np.zeros_like(correct), where=predicted > 0
+        )
+
+    def per_class_recall(self) -> np.ndarray:
+        actual = self.matrix.sum(axis=1)
+        correct = np.diag(self.matrix)
+        return np.divide(
+            correct, actual, out=np.zeros_like(correct), where=actual > 0
+        )
+
+    def per_class_f1(self) -> np.ndarray:
+        precision = self.per_class_precision()
+        recall = self.per_class_recall()
+        denominator = precision + recall
+        return np.divide(
+            2.0 * precision * recall,
+            denominator,
+            out=np.zeros_like(precision),
+            where=denominator > 0,
+        )
+
+    def _average(self, per_class: np.ndarray, average: str) -> float:
+        support = self.matrix.sum(axis=1)
+        if average == "macro":
+            present = support > 0
+            if not np.any(present):
+                return 0.0
+            return float(per_class[present].mean())
+        if average == "weighted":
+            if support.sum() == 0:
+                return 0.0
+            return float(np.average(per_class, weights=support))
+        if average == "binary":
+            if len(self.classes) != 2:
+                raise ValueError("binary averaging requires exactly two classes.")
+            return float(per_class[1])
+        raise ValueError(
+            f"average must be 'macro', 'weighted' or 'binary', got {average!r}."
+        )
+
+    def precision(self, average: str = "macro") -> float:
+        return self._average(self.per_class_precision(), average)
+
+    def recall(self, average: str = "macro") -> float:
+        return self._average(self.per_class_recall(), average)
+
+    def f1(self, average: str = "macro") -> float:
+        return self._average(self.per_class_f1(), average)
+
+
+def _matrix_from(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
+    classes = np.unique(np.concatenate([np.asarray(y_true), np.asarray(y_pred)]))
+    if len(classes) < 2:
+        classes = np.unique(np.concatenate([classes, [0, 1]]))
+    matrix = ConfusionMatrix(classes)
+    matrix.update(y_true, y_pred)
+    return matrix
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    return _matrix_from(y_true, y_pred).accuracy()
+
+
+def precision_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
+) -> float:
+    """Averaged precision."""
+    return _matrix_from(y_true, y_pred).precision(average)
+
+
+def recall_score(
+    y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro"
+) -> float:
+    """Averaged recall."""
+    return _matrix_from(y_true, y_pred).recall(average)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
+    """Averaged F1 measure (harmonic mean of precision and recall)."""
+    return _matrix_from(y_true, y_pred).f1(average)

@@ -1,0 +1,29 @@
+"""Reproduction harness for the paper's evaluation section.
+
+* :mod:`repro.experiments.registry` -- data-set and model factories matching
+  Table I and Section VI-C.
+* :mod:`repro.experiments.runner` -- prequential experiment runner.
+* :mod:`repro.experiments.tables` -- regeneration of Tables I-VI.
+* :mod:`repro.experiments.figures` -- regeneration of Figures 3 and 4.
+"""
+
+from repro.experiments.registry import (
+    DATASET_REGISTRY,
+    MODEL_REGISTRY,
+    dataset_names,
+    make_dataset,
+    make_model,
+    model_names,
+)
+from repro.experiments.runner import ExperimentSuite, run_experiment
+
+__all__ = [
+    "DATASET_REGISTRY",
+    "MODEL_REGISTRY",
+    "dataset_names",
+    "model_names",
+    "make_dataset",
+    "make_model",
+    "run_experiment",
+    "ExperimentSuite",
+]

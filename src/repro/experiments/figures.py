@@ -1,0 +1,96 @@
+"""Regeneration of the paper's figures (Figures 3 and 4).
+
+Figures are produced as plain data series (dictionaries of numpy arrays) so
+the benchmarks can print / assert on them without a plotting dependency; an
+optional text rendering gives a quick visual check in the terminal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.registry import DATASET_REGISTRY, FIGURE3_DATASETS, MODEL_REGISTRY
+from repro.experiments.runner import ExperimentSuite
+
+
+def figure3_series(
+    suite: ExperimentSuite,
+    datasets: tuple[str, ...] = FIGURE3_DATASETS,
+    window: int = 20,
+) -> dict[str, dict[str, dict[str, np.ndarray]]]:
+    """Figure 3: sliding-window F1 and log(#splits) traces per model.
+
+    Returns ``{dataset: {model: {"f1_mean", "f1_std", "log_splits_mean",
+    "log_splits_std"}}}`` with one entry per prequential iteration, matching
+    the panels (a)-(h) of the paper.
+    """
+    series: dict[str, dict[str, dict[str, np.ndarray]]] = {}
+    for dataset_key in datasets:
+        if dataset_key not in suite.dataset_names:
+            continue
+        series[dataset_key] = {}
+        for model_key in suite.model_names:
+            if MODEL_REGISTRY[model_key].group != "standalone":
+                continue
+            result = suite.get(model_key, dataset_key)
+            f1_mean, f1_std = result.windowed_f1(window)
+            splits_mean, splits_std = result.windowed_log_splits(window)
+            series[dataset_key][model_key] = {
+                "f1_mean": f1_mean,
+                "f1_std": f1_std,
+                "log_splits_mean": splits_mean,
+                "log_splits_std": splits_std,
+            }
+    return series
+
+
+def figure4_points(suite: ExperimentSuite) -> list[dict]:
+    """Figure 4: (avg log #splits, avg F1) scatter point per model and data set."""
+    points = []
+    for model_key in suite.model_names:
+        if MODEL_REGISTRY[model_key].group != "standalone":
+            continue
+        for dataset_key in suite.dataset_names:
+            result = suite.get(model_key, dataset_key)
+            points.append(
+                {
+                    "model": MODEL_REGISTRY[model_key].display_name,
+                    "model_key": model_key,
+                    "dataset": DATASET_REGISTRY[dataset_key].display_name,
+                    "dataset_key": dataset_key,
+                    "avg_log_splits": float(
+                        np.log(max(result.n_splits_mean, 1e-9))
+                    ),
+                    "avg_f1": float(result.f1_mean),
+                }
+            )
+    return points
+
+
+def render_figure4_text(points: list[dict], width: int = 60, height: int = 20) -> str:
+    """ASCII rendering of the Figure 4 scatter (complexity vs. F1)."""
+    if not points:
+        return "(no points)"
+    xs = np.array([point["avg_log_splits"] for point in points])
+    ys = np.array([point["avg_f1"] for point in points])
+    x_low, x_high = xs.min(), xs.max()
+    y_low, y_high = ys.min(), ys.max()
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    markers = {}
+    for point in points:
+        marker = point["model"][0]
+        markers[marker] = point["model"]
+        col = int((point["avg_log_splits"] - x_low) / x_span * (width - 1))
+        row = int((1.0 - (point["avg_f1"] - y_low) / y_span) * (height - 1))
+        grid[row][col] = marker
+    lines = ["Figure 4: Avg. F1 vs. Avg. log(No. of Splits)"]
+    lines.extend("".join(row) for row in grid)
+    lines.append(
+        "x: log(#splits) "
+        f"[{x_low:.2f}, {x_high:.2f}]  y: F1 [{y_low:.2f}, {y_high:.2f}]"
+    )
+    legend = ", ".join(f"{marker}={name}" for marker, name in sorted(markers.items()))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

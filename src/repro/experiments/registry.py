@@ -1,0 +1,249 @@
+"""Data-set and model registries of the reproduction.
+
+The data-set registry mirrors Table I of the paper: ten real-world streams
+(as surrogates, see :mod:`repro.streams.realworld`) and three synthetic
+streams generated with the published SEA / Agrawal / Hyperplane definitions.
+The model registry mirrors Section VI-C: the Dynamic Model Tree with the
+configuration of Section V-D and the baselines with the configurations the
+paper states.
+
+Every factory takes a ``scale`` (fraction of the original stream length) and
+a ``seed`` so that experiments are reproducible and laptop-sized by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.base import StreamClassifier
+from repro.core.dmt import DynamicModelTree
+from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
+from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
+from repro.streams.base import Stream
+from repro.streams.preprocessing import NormalizedStream
+from repro.streams.realworld import REAL_WORLD_SPECS, make_surrogate
+from repro.streams.synthetic import (
+    AgrawalGenerator,
+    HyperplaneGenerator,
+    SEAGenerator,
+)
+from repro.trees.efdt import ExtremelyFastDecisionTreeClassifier
+from repro.trees.fimtdd import FIMTDDClassifier
+from repro.trees.hat import HoeffdingAdaptiveTreeClassifier
+from repro.trees.vfdt import HoeffdingTreeClassifier
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation data set: metadata plus a stream factory."""
+
+    name: str
+    display_name: str
+    n_samples: int
+    n_features: int
+    n_classes: int
+    drift: str
+    known_drift: bool
+    factory: Callable[[float, int | None], Stream]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One evaluated model: display name, group and a factory."""
+
+    name: str
+    display_name: str
+    group: str  # "standalone" or "ensemble"
+    factory: Callable[[int | None], StreamClassifier]
+
+
+# --------------------------------------------------------------------------
+# Data sets (Table I)
+# --------------------------------------------------------------------------
+def _surrogate_factory(key: str) -> Callable[[float, int | None], Stream]:
+    def factory(scale: float, seed: int | None) -> Stream:
+        return make_surrogate(key, scale=scale, seed=seed)
+
+    return factory
+
+
+def _sea_factory(scale: float, seed: int | None) -> Stream:
+    # The paper normalises all features to [0, 1]; the synthetic generators
+    # produce their natural ranges, so the same online normalisation is
+    # applied here.
+    return NormalizedStream(
+        SEAGenerator(n_samples=max(int(1_000_000 * scale), 500), noise=0.1, seed=seed)
+    )
+
+
+def _agrawal_factory(scale: float, seed: int | None) -> Stream:
+    return NormalizedStream(
+        AgrawalGenerator(
+            n_samples=max(int(1_000_000 * scale), 500), perturbation=0.1, seed=seed
+        )
+    )
+
+
+def _hyperplane_factory(scale: float, seed: int | None) -> Stream:
+    return NormalizedStream(
+        HyperplaneGenerator(
+            n_samples=max(int(500_000 * scale), 500),
+            n_features=50,
+            n_drift_features=10,
+            noise=0.1,
+            seed=seed,
+        )
+    )
+
+
+def _build_dataset_registry() -> dict[str, DatasetSpec]:
+    registry: dict[str, DatasetSpec] = {}
+    display = {
+        "electricity": "Electricity",
+        "airlines": "Airlines",
+        "bank": "Bank",
+        "tueyeq": "TüEyeQ",
+        "poker": "Poker-Hand",
+        "kdd": "KDDCup",
+        "covertype": "Covertype",
+        "gas": "Gas",
+        "insects_abrupt": "Insects-Abrupt",
+        "insects_incremental": "Insects-Incremental",
+    }
+    known_drift = {
+        "tueyeq",
+        "insects_abrupt",
+        "insects_incremental",
+    }
+    for key, spec in REAL_WORLD_SPECS.items():
+        registry[key] = DatasetSpec(
+            name=key,
+            display_name=display[key],
+            n_samples=spec.n_samples,
+            n_features=spec.n_features,
+            n_classes=spec.n_classes,
+            drift=spec.drift,
+            known_drift=key in known_drift,
+            factory=_surrogate_factory(key),
+        )
+    registry["sea"] = DatasetSpec(
+        name="sea", display_name="SEA (synthetic, abrupt)", n_samples=1_000_000,
+        n_features=3, n_classes=2, drift="abrupt", known_drift=True,
+        factory=_sea_factory,
+    )
+    registry["agrawal"] = DatasetSpec(
+        name="agrawal", display_name="Agrawal (synthetic, incremental)",
+        n_samples=1_000_000, n_features=9, n_classes=2, drift="incremental",
+        known_drift=True, factory=_agrawal_factory,
+    )
+    registry["hyperplane"] = DatasetSpec(
+        name="hyperplane", display_name="Hyperplane (synthetic, incremental)",
+        n_samples=500_000, n_features=50, n_classes=2, drift="incremental",
+        known_drift=True, factory=_hyperplane_factory,
+    )
+    return registry
+
+
+DATASET_REGISTRY: dict[str, DatasetSpec] = _build_dataset_registry()
+
+#: Data sets used in Figure 3 of the paper (time-resolved drift behaviour).
+FIGURE3_DATASETS = ("hyperplane", "sea", "insects_incremental", "tueyeq")
+
+
+# --------------------------------------------------------------------------
+# Models (Section VI-C)
+# --------------------------------------------------------------------------
+def _vfdt_factory(**kwargs) -> Callable[[int | None], StreamClassifier]:
+    def factory(seed: int | None) -> StreamClassifier:
+        return HoeffdingTreeClassifier(**kwargs)
+
+    return factory
+
+
+def _build_model_registry() -> dict[str, ModelSpec]:
+    registry: dict[str, ModelSpec] = {}
+    registry["dmt"] = ModelSpec(
+        name="dmt", display_name="DMT (ours)", group="standalone",
+        factory=lambda seed: DynamicModelTree(
+            learning_rate=0.05, epsilon=1e-8, random_state=seed
+        ),
+    )
+    registry["fimtdd"] = ModelSpec(
+        name="fimtdd", display_name="FIMT-DD", group="standalone",
+        factory=lambda seed: FIMTDDClassifier(
+            learning_rate=0.01, split_confidence=0.01, tie_threshold=0.05,
+            random_state=seed,
+        ),
+    )
+    registry["vfdt_mc"] = ModelSpec(
+        name="vfdt_mc", display_name="VFDT (MC)", group="standalone",
+        factory=lambda seed: HoeffdingTreeClassifier(leaf_prediction="mc"),
+    )
+    registry["vfdt_nba"] = ModelSpec(
+        name="vfdt_nba", display_name="VFDT (NBA)", group="standalone",
+        factory=lambda seed: HoeffdingTreeClassifier(leaf_prediction="nba"),
+    )
+    registry["ht_ada"] = ModelSpec(
+        name="ht_ada", display_name="HT-ADA", group="standalone",
+        factory=lambda seed: HoeffdingAdaptiveTreeClassifier(leaf_prediction="mc"),
+    )
+    registry["efdt"] = ModelSpec(
+        name="efdt", display_name="EFDT", group="standalone",
+        factory=lambda seed: ExtremelyFastDecisionTreeClassifier(
+            leaf_prediction="mc", reevaluation_period=1000
+        ),
+    )
+    registry["arf"] = ModelSpec(
+        name="arf", display_name="Forest Ens.", group="ensemble",
+        factory=lambda seed: AdaptiveRandomForestClassifier(
+            n_estimators=3, random_state=seed
+        ),
+    )
+    registry["leveraging_bagging"] = ModelSpec(
+        name="leveraging_bagging", display_name="Bagging Ens.", group="ensemble",
+        factory=lambda seed: LeveragingBaggingClassifier(
+            n_estimators=3, random_state=seed
+        ),
+    )
+    return registry
+
+
+MODEL_REGISTRY: dict[str, ModelSpec] = _build_model_registry()
+
+#: Stand-alone models compared in Tables III-V and the figures.
+STANDALONE_MODELS = ("dmt", "fimtdd", "vfdt_mc", "vfdt_nba", "ht_ada", "efdt")
+
+
+# --------------------------------------------------------------------------
+# Convenience accessors
+# --------------------------------------------------------------------------
+def dataset_names() -> list[str]:
+    """Names of all registered data sets, in the paper's ordering."""
+    return list(DATASET_REGISTRY)
+
+
+def model_names(include_ensembles: bool = True) -> list[str]:
+    """Names of all registered models."""
+    names = list(MODEL_REGISTRY)
+    if include_ensembles:
+        return names
+    return [name for name in names if MODEL_REGISTRY[name].group == "standalone"]
+
+
+def make_dataset(name: str, scale: float = 0.02, seed: int | None = 42) -> Stream:
+    """Instantiate a registered data set at the given scale."""
+    if name not in DATASET_REGISTRY:
+        raise KeyError(
+            f"Unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}."
+        )
+    return DATASET_REGISTRY[name].factory(scale, seed)
+
+
+def make_model(name: str, seed: int | None = 42) -> StreamClassifier:
+    """Instantiate a registered model with the paper's configuration."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"Unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}."
+        )
+    return MODEL_REGISTRY[name].factory(seed)

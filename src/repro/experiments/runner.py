@@ -1,0 +1,119 @@
+"""Experiment runner: prequential runs over the registered data sets and models.
+
+``run_experiment`` evaluates a single (model, data set) pair;
+:class:`ExperimentSuite` runs a grid of them and caches the per-run
+:class:`~repro.evaluation.prequential.PrequentialResult` objects, from which
+the table and figure builders regenerate the paper's evaluation artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.experiments.registry import (
+    DATASET_REGISTRY,
+    MODEL_REGISTRY,
+    make_dataset,
+    make_model,
+)
+
+
+def run_experiment(
+    model_name: str,
+    dataset_name: str,
+    scale: float = 0.02,
+    seed: int | None = 42,
+    batch_fraction: float = 0.001,
+    max_iterations: int | None = None,
+) -> PrequentialResult:
+    """Run one prequential experiment with the paper's protocol.
+
+    Parameters
+    ----------
+    model_name / dataset_name:
+        Keys into the model and data-set registries.
+    scale:
+        Fraction of the original stream length to generate (keeps runs
+        laptop-sized; use 1.0 for full-scale runs).
+    seed:
+        Random seed shared by the stream and the model.
+    batch_fraction:
+        Prequential batch size as a fraction of the stream (paper: 0.001).
+    max_iterations:
+        Optional cap on the number of prequential iterations.
+    """
+    stream = make_dataset(dataset_name, scale=scale, seed=seed)
+    model = make_model(model_name, seed=seed)
+    evaluator = PrequentialEvaluator(batch_fraction=batch_fraction)
+    return evaluator.evaluate(
+        model,
+        stream,
+        model_name=MODEL_REGISTRY[model_name].display_name,
+        dataset_name=DATASET_REGISTRY[dataset_name].display_name,
+        max_iterations=max_iterations,
+    )
+
+
+@dataclass
+class ExperimentSuite:
+    """A grid of prequential experiments with cached results.
+
+    Parameters
+    ----------
+    model_names / dataset_names:
+        Registry keys to evaluate; default to the full grid of the paper.
+    scale:
+        Stream-length scale (default 2% of the original sizes).
+    seed:
+        Shared random seed.
+    batch_fraction:
+        Prequential batch fraction.
+    max_iterations:
+        Optional cap on iterations per run (useful for smoke tests).
+    """
+
+    model_names: tuple[str, ...] = tuple(MODEL_REGISTRY)
+    dataset_names: tuple[str, ...] = tuple(DATASET_REGISTRY)
+    scale: float = 0.02
+    seed: int | None = 42
+    batch_fraction: float = 0.001
+    max_iterations: int | None = None
+    results: dict[tuple[str, str], PrequentialResult] = field(default_factory=dict)
+
+    def run(self, verbose: bool = False) -> "ExperimentSuite":
+        """Run every missing (model, data set) combination."""
+        for dataset_name in self.dataset_names:
+            for model_name in self.model_names:
+                key = (model_name, dataset_name)
+                if key in self.results:
+                    continue
+                if verbose:
+                    print(f"[repro] running {model_name} on {dataset_name} ...")
+                self.results[key] = run_experiment(
+                    model_name,
+                    dataset_name,
+                    scale=self.scale,
+                    seed=self.seed,
+                    batch_fraction=self.batch_fraction,
+                    max_iterations=self.max_iterations,
+                )
+        return self
+
+    def get(self, model_name: str, dataset_name: str) -> PrequentialResult:
+        """Result of one run (runs it on demand if missing)."""
+        key = (model_name, dataset_name)
+        if key not in self.results:
+            self.results[key] = run_experiment(
+                model_name,
+                dataset_name,
+                scale=self.scale,
+                seed=self.seed,
+                batch_fraction=self.batch_fraction,
+                max_iterations=self.max_iterations,
+            )
+        return self.results[key]
+
+    def summaries(self) -> list[dict]:
+        """Flat summary records of every cached run."""
+        return [result.summary() for result in self.results.values()]

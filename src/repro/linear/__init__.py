@@ -1,0 +1,11 @@
+"""Incremental simple models: generalized linear models and Naive Bayes.
+
+These are the "simple models" of the Dynamic Model Tree (Section V-A of the
+paper) and the leaf predictors of the FIMT-DD baseline and the VFDT(NBA)
+baseline.
+"""
+
+from repro.linear.glm import IncrementalGLM
+from repro.linear.naive_bayes import GaussianNaiveBayes
+
+__all__ = ["IncrementalGLM", "GaussianNaiveBayes"]

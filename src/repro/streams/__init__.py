@@ -1,0 +1,42 @@
+"""Data streams: base API, preprocessing, synthetic generators and surrogates."""
+
+from repro.streams.base import ArrayStream, Stream, prequential_batches
+from repro.streams.preprocessing import (
+    NormalizedStream,
+    OnlineMinMaxScaler,
+    factorize_columns,
+)
+from repro.streams.synthetic import (
+    AgrawalGenerator,
+    ConceptDriftStream,
+    HyperplaneGenerator,
+    LEDGenerator,
+    MixedGenerator,
+    RandomRBFGenerator,
+    SEAGenerator,
+    SineGenerator,
+    STAGGERGenerator,
+    WaveformGenerator,
+)
+from repro.streams.realworld import SurrogateStream, make_surrogate
+
+__all__ = [
+    "Stream",
+    "ArrayStream",
+    "prequential_batches",
+    "OnlineMinMaxScaler",
+    "NormalizedStream",
+    "factorize_columns",
+    "SEAGenerator",
+    "AgrawalGenerator",
+    "HyperplaneGenerator",
+    "RandomRBFGenerator",
+    "STAGGERGenerator",
+    "LEDGenerator",
+    "SineGenerator",
+    "MixedGenerator",
+    "WaveformGenerator",
+    "ConceptDriftStream",
+    "SurrogateStream",
+    "make_surrogate",
+]

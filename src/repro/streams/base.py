@@ -1,0 +1,124 @@
+"""Base data-stream abstractions.
+
+A :class:`Stream` produces observations in order; the prequential evaluator
+consumes it in mini-batches of a fixed fraction of the stream (0.1% in the
+paper).  Streams are finite here because every evaluated data set has a known
+length, but the API mirrors a potentially infinite source.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+
+class Stream(ABC):
+    """A finite, ordered source of ``(X, y)`` observations."""
+
+    def __init__(self, n_samples: int, n_features: int, n_classes: int) -> None:
+        if n_samples < 1:
+            raise ValueError(f"n_samples must be >= 1, got {n_samples!r}.")
+        if n_features < 1:
+            raise ValueError(f"n_features must be >= 1, got {n_features!r}.")
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2, got {n_classes!r}.")
+        self.n_samples = int(n_samples)
+        self.n_features = int(n_features)
+        self.n_classes = int(n_classes)
+        self._position = 0
+
+    # ------------------------------------------------------------------ API
+    @abstractmethod
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Produce ``count`` observations starting at index ``start``."""
+
+    def next_sample(self, batch_size: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next batch of at most ``batch_size`` observations."""
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}.")
+        count = min(batch_size, self.n_remaining_samples())
+        if count == 0:
+            raise StopIteration("The stream is exhausted.")
+        X, y = self._generate(self._position, count)
+        self._position += count
+        return X, y
+
+    def has_more_samples(self) -> bool:
+        return self._position < self.n_samples
+
+    def n_remaining_samples(self) -> int:
+        return self.n_samples - self._position
+
+    @property
+    def position(self) -> int:
+        return self._position
+
+    def restart(self) -> "Stream":
+        self._position = 0
+        return self
+
+    @property
+    def classes(self) -> np.ndarray:
+        return np.arange(self.n_classes)
+
+    # ------------------------------------------------------------ materialise
+    def take(self, n: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise up to ``n`` observations (all remaining by default)."""
+        count = self.n_remaining_samples() if n is None else min(n, self.n_remaining_samples())
+        if count == 0:
+            return np.empty((0, self.n_features)), np.empty(0, dtype=int)
+        return self.next_sample(count)
+
+
+class ArrayStream(Stream):
+    """Stream backed by in-memory arrays (used for real data and tests)."""
+
+    def __init__(self, X: np.ndarray, y: np.ndarray) -> None:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-dimensional, got shape {X.shape}.")
+        if len(X) != len(y):
+            raise ValueError("X and y have inconsistent lengths.")
+        classes = np.unique(y)
+        super().__init__(
+            n_samples=len(X), n_features=X.shape[1], n_classes=max(len(classes), 2)
+        )
+        self._X = X
+        self._y = y
+        self._classes = classes
+
+    @property
+    def classes(self) -> np.ndarray:
+        return self._classes
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        return (
+            self._X[start : start + count].copy(),
+            self._y[start : start + count].copy(),
+        )
+
+
+def prequential_batches(
+    stream: Stream,
+    batch_fraction: float = 0.001,
+    batch_size: int | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield test-then-train batches from a stream.
+
+    The paper processes batches of 0.1% of the data per prequential
+    iteration; pass ``batch_size`` to override the fraction with an absolute
+    size.
+    """
+    if batch_size is None:
+        if not 0.0 < batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch_fraction must be in (0, 1], got {batch_fraction!r}."
+            )
+        batch_size = max(int(round(stream.n_samples * batch_fraction)), 1)
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size!r}.")
+    while stream.has_more_samples():
+        yield stream.next_sample(batch_size)

@@ -1,0 +1,30 @@
+"""Synthetic data-stream generators.
+
+SEA, Agrawal and Hyperplane are the generators used in the paper's
+evaluation (via scikit-multiflow there; re-implemented here from the original
+publications).  The remaining generators -- RandomRBF, STAGGER, LED, Sine,
+Mixed and Waveform -- are classic stream-learning benchmarks included for
+additional experiments and tests.
+"""
+
+from repro.streams.synthetic.sea import SEAGenerator
+from repro.streams.synthetic.agrawal import AgrawalGenerator
+from repro.streams.synthetic.hyperplane import HyperplaneGenerator
+from repro.streams.synthetic.rbf import RandomRBFGenerator
+from repro.streams.synthetic.simple import MixedGenerator, SineGenerator, STAGGERGenerator
+from repro.streams.synthetic.led import LEDGenerator
+from repro.streams.synthetic.waveform import WaveformGenerator
+from repro.streams.synthetic.drift import ConceptDriftStream
+
+__all__ = [
+    "SEAGenerator",
+    "AgrawalGenerator",
+    "HyperplaneGenerator",
+    "RandomRBFGenerator",
+    "STAGGERGenerator",
+    "SineGenerator",
+    "MixedGenerator",
+    "LEDGenerator",
+    "WaveformGenerator",
+    "ConceptDriftStream",
+]

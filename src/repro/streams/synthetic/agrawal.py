@@ -1,0 +1,208 @@
+"""Agrawal generator (Agrawal, Imielinski & Swami, 1993).
+
+Generates loan-application records with nine attributes (salary, commission,
+age, education level, car make, zip code, house value, years owned, loan
+amount) and labels them with one of ten published classification functions.
+Incremental concept drift is produced by gradually blending the active
+function into the next one over configurable stream windows -- the paper uses
+drift windows at 10-20%, 30-50% and 80-90% of a 1,000,000-sample stream and
+10% perturbation noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_in_range, check_random_state
+
+
+def _classify(function_id: int, record: np.ndarray) -> int:
+    """Apply one of the ten Agrawal functions to a record.
+
+    ``record`` holds (salary, commission, age, elevel, car, zipcode, hvalue,
+    hyears, loan) in this order.
+    """
+    salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan = record
+    if function_id == 0:
+        return 0 if (age < 40 or age >= 60) else 1
+    if function_id == 1:
+        if age < 40:
+            return 0 if 50_000 <= salary <= 100_000 else 1
+        if age < 60:
+            return 0 if 75_000 <= salary <= 125_000 else 1
+        return 0 if 25_000 <= salary <= 75_000 else 1
+    if function_id == 2:
+        if age < 40:
+            return 0 if elevel in (0, 1) else 1
+        if age < 60:
+            return 0 if elevel in (1, 2, 3) else 1
+        return 0 if elevel in (2, 3, 4) else 1
+    if function_id == 3:
+        if age < 40:
+            if elevel in (0, 1):
+                return 0 if 25_000 <= salary <= 75_000 else 1
+            return 0 if 50_000 <= salary <= 100_000 else 1
+        if age < 60:
+            if elevel in (1, 2, 3):
+                return 0 if 50_000 <= salary <= 100_000 else 1
+            return 0 if 75_000 <= salary <= 125_000 else 1
+        if elevel in (2, 3, 4):
+            return 0 if 50_000 <= salary <= 100_000 else 1
+        return 0 if 25_000 <= salary <= 75_000 else 1
+    if function_id == 4:
+        if age < 40:
+            if 50_000 <= salary <= 100_000:
+                return 0 if 100_000 <= loan <= 300_000 else 1
+            return 0 if 200_000 <= loan <= 400_000 else 1
+        if age < 60:
+            if 75_000 <= salary <= 125_000:
+                return 0 if 200_000 <= loan <= 400_000 else 1
+            return 0 if 300_000 <= loan <= 500_000 else 1
+        if 25_000 <= salary <= 75_000:
+            return 0 if 300_000 <= loan <= 500_000 else 1
+        return 0 if 100_000 <= loan <= 300_000 else 1
+    if function_id == 5:
+        total = salary + commission
+        if age < 40:
+            return 0 if 50_000 <= total <= 100_000 else 1
+        if age < 60:
+            return 0 if 75_000 <= total <= 125_000 else 1
+        return 0 if 25_000 <= total <= 75_000 else 1
+    if function_id == 6:
+        disposable = 0.67 * (salary + commission) - 0.2 * loan - 20_000
+        return 0 if disposable > 0 else 1
+    if function_id == 7:
+        disposable = 0.67 * (salary + commission) - 5_000 * elevel - 20_000
+        return 0 if disposable > 0 else 1
+    if function_id == 8:
+        disposable = 0.67 * (salary + commission) - 5_000 * elevel - 0.2 * loan - 10_000
+        return 0 if disposable > 0 else 1
+    if function_id == 9:
+        equity = 0.0
+        if hyears >= 20:
+            equity = 0.1 * hvalue * (hyears - 20)
+        disposable = 0.67 * (salary + commission) - 5_000 * elevel + 0.2 * equity - 10_000
+        return 0 if disposable > 0 else 1
+    raise ValueError(f"Unknown Agrawal function id {function_id!r}.")
+
+
+class AgrawalGenerator(Stream):
+    """Agrawal loan-application stream with incremental drift.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    perturbation:
+        Fraction of a numeric attribute's range added as uniform noise
+        (the paper uses 0.1).
+    classification_function:
+        Index (0-9) of the initial labelling function.
+    drift_windows:
+        ``(start_fraction, end_fraction)`` tuples; inside each window the
+        labelling function blends linearly into the next one.  The defaults
+        match the paper's schedule.
+    seed:
+        Random seed.
+    """
+
+    _NUMERIC_RANGES = {
+        0: (20_000.0, 150_000.0),  # salary
+        1: (0.0, 75_000.0),        # commission
+        2: (20.0, 80.0),           # age
+        6: (0.0, 900_000.0),       # house value (zipcode-dependent)
+        7: (1.0, 30.0),            # years house owned
+        8: (0.0, 500_000.0),       # loan amount
+    }
+
+    def __init__(
+        self,
+        n_samples: int = 1_000_000,
+        perturbation: float = 0.1,
+        classification_function: int = 0,
+        drift_windows: tuple[tuple[float, float], ...] = (
+            (0.1, 0.2),
+            (0.3, 0.5),
+            (0.8, 0.9),
+        ),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=9, n_classes=2)
+        check_in_range(perturbation, "perturbation", 0.0, 1.0)
+        if not 0 <= classification_function <= 9:
+            raise ValueError(
+                "classification_function must be in 0..9, "
+                f"got {classification_function!r}."
+            )
+        self.perturbation = float(perturbation)
+        self.classification_function = int(classification_function)
+        self.drift_windows = tuple(
+            (float(start), float(end)) for start, end in drift_windows
+        )
+        for start, end in self.drift_windows:
+            if not 0.0 <= start < end <= 1.0:
+                raise ValueError(
+                    f"Invalid drift window ({start!r}, {end!r})."
+                )
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "AgrawalGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    # ----------------------------------------------------------- concepts
+    def active_functions(self, index: int) -> tuple[int, int, float]:
+        """Return (current function, next function, blend probability)."""
+        fraction = index / self.n_samples
+        function_offset = 0
+        for start, end in self.drift_windows:
+            if fraction >= end:
+                function_offset += 1
+        current = (self.classification_function + function_offset) % 10
+        for start, end in self.drift_windows:
+            if start <= fraction < end:
+                blend = (fraction - start) / (end - start)
+                return current, (current + 1) % 10, float(blend)
+        return current, current, 0.0
+
+    # ----------------------------------------------------------- sampling
+    def _sample_record(self) -> np.ndarray:
+        rng = self._rng
+        salary = rng.uniform(20_000.0, 150_000.0)
+        commission = 0.0 if salary >= 75_000.0 else rng.uniform(10_000.0, 75_000.0)
+        age = rng.uniform(20.0, 80.0)
+        elevel = float(rng.integers(0, 5))
+        car = float(rng.integers(1, 21))
+        zipcode = float(rng.integers(0, 9))
+        hvalue = (9.0 - zipcode) * 100_000.0 * rng.uniform(0.5, 1.5)
+        hyears = rng.uniform(1.0, 30.0)
+        loan = rng.uniform(0.0, 500_000.0)
+        return np.array(
+            [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan]
+        )
+
+    def _perturb(self, record: np.ndarray) -> np.ndarray:
+        if self.perturbation <= 0:
+            return record
+        perturbed = record.copy()
+        for column, (low, high) in self._NUMERIC_RANGES.items():
+            span = high - low
+            noise = self._rng.uniform(-1.0, 1.0) * self.perturbation * span
+            perturbed[column] = np.clip(perturbed[column] + noise, low, high)
+        return perturbed
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = np.empty((count, self.n_features))
+        y = np.empty(count, dtype=int)
+        for offset in range(count):
+            record = self._sample_record()
+            current, upcoming, blend = self.active_functions(start + offset)
+            function_id = (
+                upcoming if blend > 0 and self._rng.random() < blend else current
+            )
+            y[offset] = _classify(function_id, record)
+            X[offset] = self._perturb(record)
+        return X, y

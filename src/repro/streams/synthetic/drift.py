@@ -1,0 +1,99 @@
+"""Stream composition with controlled concept drift.
+
+:class:`ConceptDriftStream` blends a base stream into a drift stream around a
+given position using the sigmoid transition of MOA / scikit-multiflow: before
+the transition window observations come from the base stream, afterwards from
+the drift stream, and inside the window the choice is random with a smoothly
+increasing probability.  A transition width of zero yields abrupt drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_random_state
+
+
+class ConceptDriftStream(Stream):
+    """Blend two streams to create a single stream with one concept drift.
+
+    Parameters
+    ----------
+    base_stream:
+        Stream providing the initial concept.
+    drift_stream:
+        Stream providing the post-drift concept.  Must have the same number
+        of features and classes as ``base_stream``.
+    position:
+        Index of the centre of the transition.
+    width:
+        Width of the sigmoid transition window (0 or 1 = abrupt).
+    n_samples:
+        Total length; defaults to the base stream's length.
+    seed:
+        Random seed of the blending choices.
+    """
+
+    def __init__(
+        self,
+        base_stream: Stream,
+        drift_stream: Stream,
+        position: int,
+        width: int = 1,
+        n_samples: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if base_stream.n_features != drift_stream.n_features:
+            raise ValueError("Streams must have the same number of features.")
+        if base_stream.n_classes != drift_stream.n_classes:
+            raise ValueError("Streams must have the same number of classes.")
+        total = base_stream.n_samples if n_samples is None else int(n_samples)
+        super().__init__(
+            n_samples=total,
+            n_features=base_stream.n_features,
+            n_classes=base_stream.n_classes,
+        )
+        if not 0 <= position <= total:
+            raise ValueError(f"position must be in [0, {total}], got {position!r}.")
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width!r}.")
+        self.base_stream = base_stream
+        self.drift_stream = drift_stream
+        self.drift_position = int(position)
+        self.width = max(int(width), 1)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "ConceptDriftStream":
+        super().restart()
+        self.base_stream.restart()
+        self.drift_stream.restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def drift_probability(self, index: int) -> float:
+        """Probability of drawing from the drift stream at position ``index``."""
+        exponent = -4.0 * (index - self.drift_position) / self.width
+        exponent = np.clip(exponent, -500.0, 500.0)
+        return float(1.0 / (1.0 + np.exp(exponent)))
+
+    def _draw_from(self, stream: Stream) -> tuple[np.ndarray, np.ndarray]:
+        if not stream.has_more_samples():
+            stream.restart()
+        return stream.next_sample(1)
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = np.empty((count, self.n_features))
+        y = np.empty(count, dtype=int)
+        for offset in range(count):
+            probability = self.drift_probability(start + offset)
+            source = (
+                self.drift_stream
+                if self._rng.random() < probability
+                else self.base_stream
+            )
+            X_one, y_one = self._draw_from(source)
+            X[offset] = X_one[0]
+            y[offset] = y_one[0]
+        return X, y

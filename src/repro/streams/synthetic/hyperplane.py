@@ -1,0 +1,106 @@
+"""Rotating hyperplane generator (Hulten, Spencer & Domingos, 2001).
+
+Observations are uniform in the unit hypercube; the label indicates on which
+side of a hyperplane the observation falls.  A subset of the hyperplane
+weights drifts by a small magnitude after every sample, producing continuous
+incremental concept drift over the whole stream -- the setting the paper uses
+with 50 features and 10% label noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_in_range, check_random_state
+
+
+class HyperplaneGenerator(Stream):
+    """Rotating-hyperplane stream with incremental drift.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    n_features:
+        Dimensionality of the hypercube (50 in the paper).
+    n_drift_features:
+        Number of weights subject to drift; ``None`` drifts at most 10
+        features (all of them for lower-dimensional streams).
+    magnitude:
+        Magnitude of the per-sample weight change.
+    noise:
+        Probability of flipping each label (10% in the paper).
+    sigma:
+        Probability of reversing the drift direction of each drifting weight
+        after a sample.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 500_000,
+        n_features: int = 50,
+        n_drift_features: int | None = None,
+        magnitude: float = 0.001,
+        noise: float = 0.1,
+        sigma: float = 0.1,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=n_features, n_classes=2)
+        if n_drift_features is None:
+            n_drift_features = min(10, n_features)
+        if not 0 <= n_drift_features <= n_features:
+            raise ValueError(
+                "n_drift_features must be in [0, n_features], "
+                f"got {n_drift_features!r}."
+            )
+        check_in_range(noise, "noise", 0.0, 1.0)
+        check_in_range(sigma, "sigma", 0.0, 1.0)
+        self.n_drift_features = int(n_drift_features)
+        self.magnitude = float(magnitude)
+        self.noise = float(noise)
+        self.sigma = float(sigma)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+        self._init_concept()
+
+    def _init_concept(self) -> None:
+        self._weights = self._rng.uniform(0.0, 1.0, size=self.n_features)
+        self._directions = np.ones(self.n_features)
+
+    def restart(self) -> "HyperplaneGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        self._init_concept()
+        return self
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current hyperplane weights (exposed for tests and examples)."""
+        return self._weights.copy()
+
+    def _drift_weights(self) -> None:
+        if self.n_drift_features == 0 or self.magnitude == 0.0:
+            return
+        drifting = slice(0, self.n_drift_features)
+        self._weights[drifting] += (
+            self._directions[drifting] * self.magnitude
+        )
+        reverse = self._rng.random(self.n_drift_features) < self.sigma
+        self._directions[drifting] = np.where(
+            reverse, -self._directions[drifting], self._directions[drifting]
+        )
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = self._rng.uniform(0.0, 1.0, size=(count, self.n_features))
+        y = np.empty(count, dtype=int)
+        for offset in range(count):
+            threshold = 0.5 * self._weights.sum()
+            y[offset] = int(X[offset] @ self._weights >= threshold)
+            self._drift_weights()
+        if self.noise > 0:
+            flip = self._rng.random(count) < self.noise
+            y = np.where(flip, 1 - y, y)
+        return X, y

@@ -1,0 +1,100 @@
+"""LED display generator (Breiman et al., 1984; MOA variant).
+
+Each observation describes the seven segments of a LED display showing one of
+the ten digits; each segment value is inverted with a noise probability.  The
+variant with irrelevant attributes appends extra random binary features,
+which is the classic setting for feature-selection and drift experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_in_range, check_random_state
+
+# Segment patterns of the digits 0-9 (seven segments each).
+_DIGIT_SEGMENTS = np.array(
+    [
+        [1, 1, 1, 0, 1, 1, 1],
+        [0, 0, 1, 0, 0, 1, 0],
+        [1, 0, 1, 1, 1, 0, 1],
+        [1, 0, 1, 1, 0, 1, 1],
+        [0, 1, 1, 1, 0, 1, 0],
+        [1, 1, 0, 1, 0, 1, 1],
+        [1, 1, 0, 1, 1, 1, 1],
+        [1, 0, 1, 0, 0, 1, 0],
+        [1, 1, 1, 1, 1, 1, 1],
+        [1, 1, 1, 1, 0, 1, 1],
+    ],
+    dtype=float,
+)
+
+
+class LEDGenerator(Stream):
+    """LED digit stream with optional irrelevant attributes and drift.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    noise:
+        Probability of inverting each relevant segment.
+    n_irrelevant:
+        Number of additional random binary attributes (17 in the classic
+        LEDDrift setting).
+    drift_positions:
+        Fractions of the stream at which the relevant and a block of
+        irrelevant attributes swap places (abrupt drift).
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        noise: float = 0.1,
+        n_irrelevant: int = 17,
+        drift_positions: tuple[float, ...] = (),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            n_samples=n_samples, n_features=7 + n_irrelevant, n_classes=10
+        )
+        check_in_range(noise, "noise", 0.0, 1.0)
+        if n_irrelevant < 0:
+            raise ValueError(f"n_irrelevant must be >= 0, got {n_irrelevant!r}.")
+        self.noise = float(noise)
+        self.n_irrelevant = int(n_irrelevant)
+        self.drift_positions = tuple(sorted(drift_positions))
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "LEDGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def n_swaps_at(self, index: int) -> int:
+        fraction = index / self.n_samples
+        return sum(1 for position in self.drift_positions if fraction >= position)
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        y = rng.integers(0, 10, size=count)
+        segments = _DIGIT_SEGMENTS[y].copy()
+        if self.noise > 0:
+            flips = rng.random(size=segments.shape) < self.noise
+            segments = np.where(flips, 1.0 - segments, segments)
+        irrelevant = rng.integers(0, 2, size=(count, self.n_irrelevant)).astype(float)
+        X = np.hstack([segments, irrelevant])
+        # Abrupt drift: swap the first 7 columns with irrelevant columns.
+        if self.n_irrelevant >= 7:
+            for offset in range(count):
+                swaps = self.n_swaps_at(start + offset) % 2
+                if swaps == 1:
+                    X[offset, :7], X[offset, 7:14] = (
+                        X[offset, 7:14].copy(),
+                        X[offset, :7].copy(),
+                    )
+        return X, y

@@ -1,0 +1,95 @@
+"""Random RBF generator (Bifet et al., MOA).
+
+A fixed set of centroids is drawn in the unit hypercube, each with a class
+label, a weight and a standard deviation.  Observations are sampled by
+choosing a centroid proportionally to its weight and adding a random offset
+of Gaussian length.  The drifting variant moves the centroids by a constant
+speed, producing incremental drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_random_state
+
+
+class RandomRBFGenerator(Stream):
+    """Random radial-basis-function stream, optionally with centroid drift.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    n_features:
+        Dimensionality.
+    n_classes:
+        Number of class labels.
+    n_centroids:
+        Number of RBF centroids.
+    drift_speed:
+        Distance each centroid moves per generated sample (0 = stationary).
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        n_features: int = 10,
+        n_classes: int = 2,
+        n_centroids: int = 50,
+        drift_speed: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(
+            n_samples=n_samples, n_features=n_features, n_classes=n_classes
+        )
+        if n_centroids < 1:
+            raise ValueError(f"n_centroids must be >= 1, got {n_centroids!r}.")
+        if drift_speed < 0:
+            raise ValueError(f"drift_speed must be >= 0, got {drift_speed!r}.")
+        self.n_centroids = int(n_centroids)
+        self.drift_speed = float(drift_speed)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+        self._init_centroids()
+
+    def _init_centroids(self) -> None:
+        rng = self._rng
+        self._centres = rng.uniform(0.0, 1.0, size=(self.n_centroids, self.n_features))
+        self._labels = rng.integers(0, self.n_classes, size=self.n_centroids)
+        self._stds = rng.uniform(0.05, 0.15, size=self.n_centroids)
+        weights = rng.uniform(0.0, 1.0, size=self.n_centroids)
+        self._weights = weights / weights.sum()
+        directions = rng.normal(size=(self.n_centroids, self.n_features))
+        norms = np.linalg.norm(directions, axis=1, keepdims=True)
+        self._directions = directions / np.where(norms == 0, 1.0, norms)
+
+    def restart(self) -> "RandomRBFGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        self._init_centroids()
+        return self
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        X = np.empty((count, self.n_features))
+        y = np.empty(count, dtype=int)
+        for offset in range(count):
+            centroid = rng.choice(self.n_centroids, p=self._weights)
+            direction = rng.normal(size=self.n_features)
+            norm = np.linalg.norm(direction)
+            if norm > 0:
+                direction /= norm
+            radius = abs(rng.normal(0.0, self._stds[centroid]))
+            X[offset] = self._centres[centroid] + radius * direction
+            y[offset] = self._labels[centroid]
+            if self.drift_speed > 0:
+                self._centres += self.drift_speed * self._directions
+                out_low = self._centres < 0.0
+                out_high = self._centres > 1.0
+                self._directions[out_low | out_high] *= -1.0
+                self._centres = np.clip(self._centres, 0.0, 1.0)
+        return X, y

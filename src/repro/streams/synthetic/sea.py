@@ -1,0 +1,79 @@
+"""SEA concepts generator (Street & Kim, 2001).
+
+Three numeric features drawn uniformly from ``[0, 10]``; only the first two
+are relevant.  The label is positive when ``f1 + f2 <= θ`` where the
+threshold ``θ`` depends on the active concept.  Abrupt concept drift is
+obtained by switching between the four classic thresholds (8, 9, 7, 9.5) at
+fixed stream positions -- the paper places drifts at 20%, 40%, 60% and 80% of
+a 1,000,000-sample stream and adds 10% label noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_in_range, check_random_state
+
+_SEA_THRESHOLDS = (8.0, 9.0, 7.0, 9.5)
+
+
+class SEAGenerator(Stream):
+    """SEA concepts stream with abrupt drift.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    noise:
+        Probability of flipping each label ("perturbation" in the paper).
+    drift_positions:
+        Fractions of the stream at which the active concept switches to the
+        next threshold.  The default matches the paper's schedule.
+    seed:
+        Random seed.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 1_000_000,
+        noise: float = 0.1,
+        drift_positions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=3, n_classes=2)
+        check_in_range(noise, "noise", 0.0, 1.0)
+        for position in drift_positions:
+            check_in_range(position, "drift_positions", 0.0, 1.0)
+        self.noise = float(noise)
+        self.drift_positions = tuple(sorted(drift_positions))
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "SEAGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def concept_at(self, index: int) -> int:
+        """Index of the active concept (threshold) at stream position ``index``."""
+        fraction = index / self.n_samples
+        concept = 0
+        for position in self.drift_positions:
+            if fraction >= position:
+                concept += 1
+        return concept % len(_SEA_THRESHOLDS)
+
+    def threshold_at(self, index: int) -> float:
+        return _SEA_THRESHOLDS[self.concept_at(index)]
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = self._rng.uniform(0.0, 10.0, size=(count, 3))
+        thresholds = np.array(
+            [self.threshold_at(start + offset) for offset in range(count)]
+        )
+        y = (X[:, 0] + X[:, 1] <= thresholds).astype(int)
+        if self.noise > 0:
+            flip = self._rng.random(count) < self.noise
+            y = np.where(flip, 1 - y, y)
+        return X, y

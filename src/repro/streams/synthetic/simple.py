@@ -1,0 +1,191 @@
+"""Small classic concept-drift generators: STAGGER, Sine and Mixed.
+
+These generators are not part of the paper's headline evaluation but are
+standard benchmarks for drift-adaptation behaviour and are used in the extra
+experiments and in the test suite, where their simple closed-form concepts
+make correctness easy to verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_in_range, check_random_state
+
+
+class STAGGERGenerator(Stream):
+    """STAGGER concepts (Schlimmer & Granger, 1986).
+
+    Three nominal features -- size, colour, shape -- each with three values
+    (encoded 0, 1, 2) and three alternating target concepts:
+
+    0. size = small and colour = red
+    1. colour = green or shape = circle
+    2. size = medium or size = large
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        classification_function: int = 0,
+        drift_positions: tuple[float, ...] = (),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=3, n_classes=2)
+        if not 0 <= classification_function <= 2:
+            raise ValueError(
+                "classification_function must be 0, 1 or 2, "
+                f"got {classification_function!r}."
+            )
+        self.classification_function = int(classification_function)
+        self.drift_positions = tuple(sorted(drift_positions))
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "STAGGERGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def concept_at(self, index: int) -> int:
+        fraction = index / self.n_samples
+        offset = sum(1 for position in self.drift_positions if fraction >= position)
+        return (self.classification_function + offset) % 3
+
+    @staticmethod
+    def _label(concept: int, size: int, colour: int, shape: int) -> int:
+        if concept == 0:
+            return int(size == 0 and colour == 0)
+        if concept == 1:
+            return int(colour == 1 or shape == 0)
+        return int(size in (1, 2))
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = self._rng.integers(0, 3, size=(count, 3)).astype(float)
+        y = np.array(
+            [
+                self._label(self.concept_at(start + offset), *X[offset].astype(int))
+                for offset in range(count)
+            ],
+            dtype=int,
+        )
+        return X, y
+
+
+class SineGenerator(Stream):
+    """Sine generator (Gama et al., 2004): two uniform features, sine boundary.
+
+    Four classification functions: SINE1/SINE2 and their reversed variants.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        classification_function: int = 0,
+        drift_positions: tuple[float, ...] = (),
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=2, n_classes=2)
+        if not 0 <= classification_function <= 3:
+            raise ValueError(
+                "classification_function must be in 0..3, "
+                f"got {classification_function!r}."
+            )
+        self.classification_function = int(classification_function)
+        self.drift_positions = tuple(sorted(drift_positions))
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "SineGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def concept_at(self, index: int) -> int:
+        fraction = index / self.n_samples
+        offset = sum(1 for position in self.drift_positions if fraction >= position)
+        return (self.classification_function + offset) % 4
+
+    @staticmethod
+    def _label(concept: int, x1: float, x2: float) -> int:
+        if concept == 0:  # SINE1
+            return int(x2 <= np.sin(x1))
+        if concept == 1:  # reversed SINE1
+            return int(x2 > np.sin(x1))
+        if concept == 2:  # SINE2
+            return int(x2 <= 0.5 + 0.3 * np.sin(3.0 * np.pi * x1))
+        return int(x2 > 0.5 + 0.3 * np.sin(3.0 * np.pi * x1))
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        X = self._rng.uniform(0.0, 1.0, size=(count, 2))
+        y = np.array(
+            [
+                self._label(self.concept_at(start + offset), X[offset, 0], X[offset, 1])
+                for offset in range(count)
+            ],
+            dtype=int,
+        )
+        return X, y
+
+
+class MixedGenerator(Stream):
+    """Mixed generator (Gama et al., 2004): two boolean and two numeric features.
+
+    The positive class requires at least two of three conditions: ``v`` is
+    true, ``w`` is true, ``z < 0.5 + 0.3 sin(3 π x)``.  The second function
+    reverses the labels.
+    """
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        classification_function: int = 0,
+        drift_positions: tuple[float, ...] = (),
+        noise: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=4, n_classes=2)
+        if classification_function not in (0, 1):
+            raise ValueError(
+                "classification_function must be 0 or 1, "
+                f"got {classification_function!r}."
+            )
+        check_in_range(noise, "noise", 0.0, 1.0)
+        self.classification_function = int(classification_function)
+        self.drift_positions = tuple(sorted(drift_positions))
+        self.noise = float(noise)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+
+    def restart(self) -> "MixedGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def concept_at(self, index: int) -> int:
+        fraction = index / self.n_samples
+        offset = sum(1 for position in self.drift_positions if fraction >= position)
+        return (self.classification_function + offset) % 2
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        v = rng.integers(0, 2, size=count)
+        w = rng.integers(0, 2, size=count)
+        x = rng.uniform(0.0, 1.0, size=count)
+        z = rng.uniform(0.0, 1.0, size=count)
+        conditions = (
+            v.astype(int)
+            + w.astype(int)
+            + (z < 0.5 + 0.3 * np.sin(3.0 * np.pi * x)).astype(int)
+        )
+        base_label = (conditions >= 2).astype(int)
+        concepts = np.array(
+            [self.concept_at(start + offset) for offset in range(count)]
+        )
+        y = np.where(concepts == 0, base_label, 1 - base_label)
+        if self.noise > 0:
+            flip = rng.random(count) < self.noise
+            y = np.where(flip, 1 - y, y)
+        X = np.column_stack([v, w, x, z]).astype(float)
+        return X, y

@@ -1,0 +1,70 @@
+"""Waveform generator (Breiman et al., 1984).
+
+Three base waveforms over 21 attributes; every observation is a random convex
+combination of two of them plus Gaussian noise, and the class identifies the
+pair.  A classic multiclass stream benchmark with overlapping classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.streams.base import Stream
+from repro.utils.validation import check_random_state
+
+
+def _base_waveforms() -> np.ndarray:
+    positions = np.arange(21, dtype=float)
+    h1 = np.maximum(6.0 - np.abs(positions - 7.0), 0.0)
+    h2 = np.maximum(6.0 - np.abs(positions - 15.0), 0.0)
+    h3 = np.maximum(6.0 - np.abs(positions - 11.0), 0.0)
+    return np.vstack([h1, h2, h3])
+
+
+class WaveformGenerator(Stream):
+    """Waveform stream with 21 numeric features and 3 classes.
+
+    Parameters
+    ----------
+    n_samples:
+        Stream length.
+    noise_std:
+        Standard deviation of the additive Gaussian noise.
+    seed:
+        Random seed.
+    """
+
+    _PAIRS = ((0, 1), (0, 2), (1, 2))
+
+    def __init__(
+        self,
+        n_samples: int = 100_000,
+        noise_std: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(n_samples=n_samples, n_features=21, n_classes=3)
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std!r}.")
+        self.noise_std = float(noise_std)
+        self.seed = seed
+        self._rng = check_random_state(seed)
+        self._waveforms = _base_waveforms()
+
+    def restart(self) -> "WaveformGenerator":
+        super().restart()
+        self._rng = check_random_state(self.seed)
+        return self
+
+    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+        rng = self._rng
+        y = rng.integers(0, 3, size=count)
+        mixing = rng.uniform(0.0, 1.0, size=count)
+        X = np.empty((count, self.n_features))
+        for offset in range(count):
+            first, second = self._PAIRS[y[offset]]
+            X[offset] = (
+                mixing[offset] * self._waveforms[first]
+                + (1.0 - mixing[offset]) * self._waveforms[second]
+            )
+        X += rng.normal(0.0, self.noise_std, size=X.shape)
+        return X, y

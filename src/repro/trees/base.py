@@ -1,0 +1,243 @@
+"""Shared node machinery of the Hoeffding-tree family.
+
+The VFDT, HT-Ada and EFDT baselines share the same building blocks: learning
+leaves that keep class statistics plus per-feature attribute observers, and
+binary split nodes that route observations.  This module provides those
+blocks; the concrete trees differ only in *when* they split, re-evaluate or
+prune.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linear.naive_bayes import GaussianNaiveBayes
+from repro.trees.criteria import SplitCriterion
+from repro.trees.observers import (
+    GaussianAttributeObserver,
+    NominalAttributeObserver,
+    SplitSuggestion,
+)
+
+
+def ensure_length(array: np.ndarray, length: int) -> np.ndarray:
+    """Zero-pad a 1-D statistics array to ``length`` (class-count growth)."""
+    if len(array) >= length:
+        return array
+    padded = np.zeros(length)
+    padded[: len(array)] = array
+    return padded
+
+
+class LeafNode:
+    """A learning leaf: class statistics, attribute observers, leaf predictor.
+
+    Parameters
+    ----------
+    n_classes:
+        Current size of the class space.
+    n_features:
+        Number of input features.
+    leaf_prediction:
+        ``"mc"`` (majority class), ``"nb"`` (Naive Bayes) or ``"nba"``
+        (Naive Bayes adaptive -- picks whichever of MC/NB has been more
+        accurate on the data seen at this leaf).
+    n_split_points:
+        Candidate thresholds per numeric feature.
+    nominal_features:
+        Indices of features that should be observed nominally.
+    depth:
+        Depth of the leaf in the tree (root = 0).
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        n_features: int,
+        leaf_prediction: str = "mc",
+        n_split_points: int = 10,
+        nominal_features: set[int] | None = None,
+        depth: int = 0,
+        initial_dist: np.ndarray | None = None,
+    ) -> None:
+        if leaf_prediction not in {"mc", "nb", "nba"}:
+            raise ValueError(
+                "leaf_prediction must be one of 'mc', 'nb', 'nba', "
+                f"got {leaf_prediction!r}."
+            )
+        self.n_classes = int(n_classes)
+        self.n_features = int(n_features)
+        self.leaf_prediction = leaf_prediction
+        self.n_split_points = int(n_split_points)
+        self.nominal_features = nominal_features or set()
+        self.depth = int(depth)
+        self.class_dist = (
+            np.zeros(n_classes)
+            if initial_dist is None
+            else ensure_length(np.asarray(initial_dist, dtype=float), n_classes)
+        )
+        self.observers: dict[int, GaussianAttributeObserver | NominalAttributeObserver] = {}
+        self.weight_at_last_split_attempt = float(self.class_dist.sum())
+        self._naive_bayes: GaussianNaiveBayes | None = None
+        self._mc_correct = 0.0
+        self._nb_correct = 0.0
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def total_weight(self) -> float:
+        return float(self.class_dist.sum())
+
+    @property
+    def is_pure(self) -> bool:
+        return np.count_nonzero(self.class_dist) <= 1
+
+    def _observer_for(self, feature: int):
+        observer = self.observers.get(feature)
+        if observer is None:
+            if feature in self.nominal_features:
+                observer = NominalAttributeObserver()
+            else:
+                observer = GaussianAttributeObserver(self.n_split_points)
+            self.observers[feature] = observer
+        return observer
+
+    def _grow_classes(self, n_classes: int) -> None:
+        if n_classes > self.n_classes:
+            self.class_dist = ensure_length(self.class_dist, n_classes)
+            self.n_classes = n_classes
+            self._naive_bayes = None  # re-created lazily with the new size
+
+    # ---------------------------------------------------------------- learn
+    def learn_one(self, x: np.ndarray, y_idx: int, n_classes: int, weight: float = 1.0) -> None:
+        """Update the leaf with one observation."""
+        self._grow_classes(n_classes)
+        if self.leaf_prediction == "nba" and self.total_weight > 0:
+            # Track which of the two leaf predictors would have been right.
+            mc_prediction = int(np.argmax(self.class_dist))
+            if mc_prediction == y_idx:
+                self._mc_correct += weight
+            if self._naive_bayes is not None and self._naive_bayes.total_count > 0:
+                nb_prediction = int(self._naive_bayes.predict(x.reshape(1, -1))[0])
+                if nb_prediction == y_idx:
+                    self._nb_correct += weight
+        self.class_dist[y_idx] += weight
+        for feature in range(self.n_features):
+            self._observer_for(feature).update(x[feature], y_idx, weight)
+        if self.leaf_prediction in {"nb", "nba"}:
+            if self._naive_bayes is None:
+                self._naive_bayes = GaussianNaiveBayes(
+                    self.n_features, max(self.n_classes, 2)
+                )
+            self._naive_bayes.update(x.reshape(1, -1), np.array([y_idx]))
+
+    # -------------------------------------------------------------- predict
+    def predict_proba(self, x: np.ndarray, n_classes: int) -> np.ndarray:
+        dist = ensure_length(self.class_dist, n_classes)
+        total = dist.sum()
+        majority = (
+            np.full(n_classes, 1.0 / n_classes) if total == 0 else dist / total
+        )
+        if self.leaf_prediction == "mc" or self._naive_bayes is None:
+            return majority
+        nb_proba = np.zeros(n_classes)
+        raw = self._naive_bayes.predict_proba(x.reshape(1, -1))[0]
+        nb_proba[: len(raw)] = raw
+        if self.leaf_prediction == "nb":
+            return nb_proba
+        # Adaptive: use Naive Bayes only if it has been at least as accurate.
+        return nb_proba if self._nb_correct >= self._mc_correct else majority
+
+    # ---------------------------------------------------------------- split
+    def best_split_suggestions(
+        self, criterion: SplitCriterion
+    ) -> list[SplitSuggestion]:
+        """Best suggestion per feature plus the null (do-not-split) suggestion."""
+        suggestions = [
+            SplitSuggestion(feature=-1, threshold=0.0, merit=0.0)  # null split
+        ]
+        for feature, observer in self.observers.items():
+            suggestion = observer.best_split_suggestion(
+                criterion, self.class_dist, feature
+            )
+            if suggestion is not None:
+                suggestions.append(suggestion)
+        return suggestions
+
+
+class SplitNode:
+    """A binary split node: ``x[feature] <= threshold`` goes left."""
+
+    def __init__(
+        self,
+        feature: int,
+        threshold: float,
+        is_nominal: bool = False,
+        class_dist: np.ndarray | None = None,
+        depth: int = 0,
+    ) -> None:
+        self.feature = int(feature)
+        self.threshold = float(threshold)
+        self.is_nominal = bool(is_nominal)
+        self.class_dist = (
+            np.zeros(0) if class_dist is None else np.asarray(class_dist, dtype=float)
+        )
+        self.depth = int(depth)
+        self.children: list = [None, None]
+
+    @property
+    def left(self):
+        return self.children[0]
+
+    @left.setter
+    def left(self, node) -> None:
+        self.children[0] = node
+
+    @property
+    def right(self):
+        return self.children[1]
+
+    @right.setter
+    def right(self, node) -> None:
+        self.children[1] = node
+
+    def branch_for(self, x: np.ndarray) -> int:
+        """Return 0 (left) or 1 (right) for an observation."""
+        value = x[self.feature]
+        if self.is_nominal:
+            return 0 if value == self.threshold else 1
+        return 0 if value <= self.threshold else 1
+
+    def child_for(self, x: np.ndarray):
+        return self.children[self.branch_for(x)]
+
+
+def iter_nodes(root) -> list:
+    """All nodes of a (possibly mixed) tree in pre-order."""
+    if root is None:
+        return []
+    nodes = [root]
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        children = getattr(node, "children", None)
+        if children:
+            for child in children:
+                if child is not None:
+                    nodes.append(child)
+                    stack.append(child)
+        alternate = getattr(node, "alternate_tree", None)
+        if alternate is not None:
+            nodes.append(alternate)
+            stack.append(alternate)
+    return nodes
+
+
+def tree_depth(root) -> int:
+    """Maximum depth of the tree rooted at ``root`` (leaf-only tree = 0)."""
+    if root is None:
+        return 0
+    children = getattr(root, "children", None)
+    if not children:
+        return 0
+    child_depths = [tree_depth(child) for child in children if child is not None]
+    return 1 + (max(child_depths) if child_depths else 0)

@@ -1,0 +1,293 @@
+"""EFDT -- Extremely Fast Decision Tree (Manapragada, Webb & Salehi, 2018).
+
+Also known as the Hoeffding Anytime Tree.  EFDT differs from the VFDT in two
+ways: (i) a leaf is split as soon as the best attribute is better than *not
+splitting* with Hoeffding confidence (instead of better than the second-best
+attribute), and (ii) inner nodes keep their attribute statistics and
+periodically *re-evaluate* their split; if a different attribute has become
+better with Hoeffding confidence, the subtree below is discarded and the
+node is re-split (or demoted to a leaf).
+
+Following the paper's experimental setup, the minimum number of observations
+between re-evaluations of an inner node is 1000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import ComplexityReport
+from repro.trees.base import LeafNode, SplitNode, iter_nodes, tree_depth
+from repro.trees.hoeffding import hoeffding_bound
+from repro.trees.observers import SplitSuggestion
+from repro.trees.vfdt import HoeffdingTreeClassifier
+
+
+class EFDTSplitNode(SplitNode):
+    """Split node that keeps learning statistics for later re-evaluation."""
+
+    def __init__(self, stats: LeafNode, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.stats = stats
+        self.weight_at_last_reevaluation = stats.total_weight
+
+
+class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
+    """Hoeffding Anytime Tree for streaming classification.
+
+    Parameters
+    ----------
+    reevaluation_period:
+        Minimum number of observations an inner node must accumulate between
+        re-evaluations of its split (1000 in the paper's experiments).
+    grace_period, split_confidence, tie_threshold, leaf_prediction,
+    split_criterion, n_split_points, max_depth, nominal_features:
+        As in :class:`~repro.trees.vfdt.HoeffdingTreeClassifier`.
+    """
+
+    def __init__(
+        self,
+        grace_period: int = 200,
+        split_confidence: float = 1e-7,
+        tie_threshold: float = 0.05,
+        leaf_prediction: str = "mc",
+        split_criterion: str = "info_gain",
+        n_split_points: int = 10,
+        max_depth: int | None = None,
+        nominal_features: set[int] | None = None,
+        reevaluation_period: int = 1000,
+    ) -> None:
+        super().__init__(
+            grace_period=grace_period,
+            split_confidence=split_confidence,
+            tie_threshold=tie_threshold,
+            leaf_prediction=leaf_prediction,
+            split_criterion=split_criterion,
+            n_split_points=n_split_points,
+            max_depth=max_depth,
+            nominal_features=nominal_features,
+        )
+        if reevaluation_period < 1:
+            raise ValueError(
+                f"reevaluation_period must be >= 1, got {reevaluation_period!r}."
+            )
+        self.reevaluation_period = int(reevaluation_period)
+        self.n_reevaluations = 0
+        self.n_subtree_prunes = 0
+
+    def reset(self) -> "ExtremelyFastDecisionTreeClassifier":
+        super().reset()
+        self.n_reevaluations = 0
+        self.n_subtree_prunes = 0
+        return self
+
+    # ---------------------------------------------------------------- learn
+    def _learn_one(self, x: np.ndarray, y_idx: int) -> None:
+        # Update statistics along the whole path (EFDT keeps inner-node
+        # statistics alive), then let the leaf learn, then run checks
+        # top-down as in the published algorithm.
+        path: list[tuple[EFDTSplitNode | None, int]] = []
+        node = self.root
+        parent: SplitNode | None = None
+        branch = 0
+        while isinstance(node, SplitNode):
+            if isinstance(node, EFDTSplitNode):
+                node.stats.learn_one(x, y_idx, n_classes=max(self.n_classes_, 2))
+            path.append((node, branch))
+            parent = node
+            branch = node.branch_for(x)
+            child = node.children[branch]
+            if child is None:
+                child = self._new_leaf(depth=node.depth + 1)
+                node.children[branch] = child
+            node = child
+        leaf = node
+        leaf.learn_one(x, y_idx, n_classes=max(self.n_classes_, 2))
+
+        # Re-evaluate the inner nodes on the path (top-down).
+        grand_parent: SplitNode | None = None
+        grand_branch = 0
+        for split_node, _ in path:
+            if not isinstance(split_node, EFDTSplitNode):
+                grand_parent, grand_branch = split_node, split_node.branch_for(x)
+                continue
+            weight = split_node.stats.total_weight
+            if (
+                weight - split_node.weight_at_last_reevaluation
+                >= self.reevaluation_period
+            ):
+                split_node.weight_at_last_reevaluation = weight
+                replaced = self._reevaluate_split(
+                    split_node, grand_parent, grand_branch
+                )
+                if replaced:
+                    # The subtree below was rebuilt; stop walking stale nodes.
+                    return
+            grand_parent, grand_branch = split_node, split_node.branch_for(x)
+
+        # Leaf split attempt.
+        if self._can_split(leaf):
+            weight_seen = leaf.total_weight
+            if weight_seen - leaf.weight_at_last_split_attempt >= self.grace_period:
+                leaf.weight_at_last_split_attempt = weight_seen
+                self._attempt_split(leaf, parent, branch)
+
+    # ---------------------------------------------------------------- split
+    def _attempt_split(
+        self, leaf: LeafNode, parent: SplitNode | None, branch: int
+    ) -> None:
+        """EFDT splits as soon as the best attribute beats *not splitting*."""
+        suggestions = leaf.best_split_suggestions(self._criterion)
+        real = [s for s in suggestions if s.feature != -1]
+        if not real:
+            return
+        best = max(real, key=lambda suggestion: suggestion.merit)
+        bound = hoeffding_bound(
+            self._criterion.merit_range(leaf.class_dist),
+            self.split_confidence,
+            leaf.total_weight,
+        )
+        null_merit = 0.0
+        if best.merit - null_merit > bound or bound < self.tie_threshold:
+            if best.merit > 0:
+                self._split_leaf(leaf, best, parent, branch)
+
+    def _split_leaf(
+        self,
+        leaf: LeafNode,
+        suggestion: SplitSuggestion,
+        parent: SplitNode | None,
+        branch: int,
+    ) -> None:
+        stats = self._new_leaf(depth=leaf.depth, initial_dist=leaf.class_dist)
+        stats.observers = leaf.observers
+        new_split = EFDTSplitNode(
+            stats,
+            feature=suggestion.feature,
+            threshold=suggestion.threshold,
+            is_nominal=suggestion.is_nominal,
+            class_dist=leaf.class_dist.copy(),
+            depth=leaf.depth,
+        )
+        for child_idx in range(2):
+            initial = (
+                suggestion.children_dists[child_idx]
+                if len(suggestion.children_dists) == 2
+                else None
+            )
+            new_split.children[child_idx] = self._new_leaf(
+                depth=leaf.depth + 1, initial_dist=initial
+            )
+        self._replace_child(parent, branch, new_split)
+        self.n_split_events += 1
+
+    # ----------------------------------------------------------- reevaluate
+    def _reevaluate_split(
+        self,
+        node: EFDTSplitNode,
+        parent: SplitNode | None,
+        branch: int,
+    ) -> bool:
+        """Re-check an existing split; prune / re-split when it became stale.
+
+        Returns ``True`` when the node was replaced.
+        """
+        self.n_reevaluations += 1
+        suggestions = node.stats.best_split_suggestions(self._criterion)
+        real = [s for s in suggestions if s.feature != -1]
+        if not real:
+            return False
+        best = max(real, key=lambda suggestion: suggestion.merit)
+        current = max(
+            (s for s in real if s.feature == node.feature),
+            key=lambda suggestion: suggestion.merit,
+            default=None,
+        )
+        current_merit = current.merit if current is not None else 0.0
+        bound = hoeffding_bound(
+            self._criterion.merit_range(node.stats.class_dist),
+            self.split_confidence,
+            node.stats.total_weight,
+        )
+        if best.merit <= 0 and 0.0 - current_merit > bound:
+            # Not splitting at all is better: demote the node to a leaf.
+            demoted = self._new_leaf(
+                depth=node.depth, initial_dist=node.stats.class_dist
+            )
+            demoted.observers = node.stats.observers
+            self._replace_child(parent, branch, demoted)
+            self.n_subtree_prunes += 1
+            return True
+        if best.feature != node.feature and best.merit - current_merit > bound:
+            # A different attribute is now clearly better: kill the subtree
+            # and re-split on the new best attribute.
+            self._split_stats_node(node, best, parent, branch)
+            self.n_subtree_prunes += 1
+            return True
+        return False
+
+    def _split_stats_node(
+        self,
+        node: EFDTSplitNode,
+        suggestion: SplitSuggestion,
+        parent: SplitNode | None,
+        branch: int,
+    ) -> None:
+        stats = self._new_leaf(depth=node.depth, initial_dist=node.stats.class_dist)
+        stats.observers = node.stats.observers
+        new_split = EFDTSplitNode(
+            stats,
+            feature=suggestion.feature,
+            threshold=suggestion.threshold,
+            is_nominal=suggestion.is_nominal,
+            class_dist=node.stats.class_dist.copy(),
+            depth=node.depth,
+        )
+        for child_idx in range(2):
+            initial = (
+                suggestion.children_dists[child_idx]
+                if len(suggestion.children_dists) == 2
+                else None
+            )
+            new_split.children[child_idx] = self._new_leaf(
+                depth=node.depth + 1, initial_dist=initial
+            )
+        self._replace_child(parent, branch, new_split)
+        self.n_split_events += 1
+
+    # ------------------------------------------------------- interpretability
+    def complexity(self) -> ComplexityReport:
+        if self.root is None:
+            return ComplexityReport(n_splits=0, n_parameters=0)
+        nodes = iter_nodes(self.root)
+        n_inner = sum(1 for node in nodes if isinstance(node, SplitNode))
+        n_leaves = sum(1 for node in nodes if isinstance(node, LeafNode) and not
+                       self._is_stats_holder(node))
+        n_classes = max(self.n_classes_, 2)
+        if self.leaf_prediction == "mc":
+            leaf_splits, leaf_params = 0, 1
+        else:
+            leaf_splits = 1 if n_classes == 2 else n_classes
+            leaf_params = self.n_features_ * (1 if n_classes == 2 else n_classes)
+        return ComplexityReport(
+            n_splits=n_inner + leaf_splits * n_leaves,
+            n_parameters=n_inner + leaf_params * n_leaves,
+            n_nodes=n_inner + n_leaves,
+            n_leaves=n_leaves,
+            depth=tree_depth(self.root),
+        )
+
+    def _is_stats_holder(self, leaf: LeafNode) -> bool:
+        """Stats holders of EFDT split nodes are not tree leaves."""
+        if self.root is None:
+            return False
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, EFDTSplitNode):
+                if node.stats is leaf:
+                    return True
+                stack.extend(child for child in node.children if child is not None)
+            elif isinstance(node, SplitNode):
+                stack.extend(child for child in node.children if child is not None)
+        return False

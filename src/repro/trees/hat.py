@@ -1,0 +1,261 @@
+"""HT-Ada -- the Hoeffding Adaptive Tree (Bifet & Gavaldà, 2009).
+
+The adaptive Hoeffding Tree augments every split node with an ADWIN change
+detector on its prediction error.  When a node's error distribution changes,
+an alternate subtree is grown in parallel; once the alternate subtree is more
+accurate than the original branch, it replaces it.  Following the paper's
+configuration, no bootstrap sampling is applied in the leaves and leaves use
+majority voting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import ComplexityReport
+from repro.drift.adwin import ADWIN
+from repro.trees.base import LeafNode, SplitNode, tree_depth
+from repro.trees.observers import SplitSuggestion
+from repro.trees.vfdt import HoeffdingTreeClassifier
+
+
+class AdaLeafNode(LeafNode):
+    """Learning leaf with an ADWIN estimator of its own error rate."""
+
+    def __init__(self, *args, adwin_delta: float = 0.002, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.adwin = ADWIN(delta=adwin_delta)
+
+
+class AdaSplitNode(SplitNode):
+    """Split node with an ADWIN error monitor and an optional alternate tree."""
+
+    def __init__(self, *args, adwin_delta: float = 0.002, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.adwin = ADWIN(delta=adwin_delta)
+        self.alternate_tree = None
+        # Error bookkeeping for the main branch vs. the alternate branch
+        # since the alternate tree was created.
+        self.main_errors_since_alt = 0.0
+        self.alt_errors = 0.0
+        self.alt_weight = 0.0
+
+
+class HoeffdingAdaptiveTreeClassifier(HoeffdingTreeClassifier):
+    """Hoeffding Adaptive Tree (the paper's HT-Ada baseline).
+
+    Parameters
+    ----------
+    adwin_delta:
+        Confidence of the per-node ADWIN detectors.
+    alternate_min_weight:
+        Minimum number of observations an alternate subtree must see before
+        it may replace (or be discarded in favour of) the original branch.
+    grace_period, split_confidence, tie_threshold, leaf_prediction,
+    split_criterion, n_split_points, max_depth, nominal_features:
+        As in :class:`~repro.trees.vfdt.HoeffdingTreeClassifier`.
+    """
+
+    def __init__(
+        self,
+        grace_period: int = 200,
+        split_confidence: float = 1e-7,
+        tie_threshold: float = 0.05,
+        leaf_prediction: str = "mc",
+        split_criterion: str = "info_gain",
+        n_split_points: int = 10,
+        max_depth: int | None = None,
+        nominal_features: set[int] | None = None,
+        adwin_delta: float = 0.002,
+        alternate_min_weight: int = 150,
+    ) -> None:
+        super().__init__(
+            grace_period=grace_period,
+            split_confidence=split_confidence,
+            tie_threshold=tie_threshold,
+            leaf_prediction=leaf_prediction,
+            split_criterion=split_criterion,
+            n_split_points=n_split_points,
+            max_depth=max_depth,
+            nominal_features=nominal_features,
+        )
+        self.adwin_delta = float(adwin_delta)
+        self.alternate_min_weight = int(alternate_min_weight)
+        self.n_alternate_trees = 0
+        self.n_tree_swaps = 0
+        self.n_pruned_alternates = 0
+
+    def reset(self) -> "HoeffdingAdaptiveTreeClassifier":
+        super().reset()
+        self.n_alternate_trees = 0
+        self.n_tree_swaps = 0
+        self.n_pruned_alternates = 0
+        return self
+
+    # ---------------------------------------------------------------- nodes
+    def _new_leaf(
+        self, depth: int, initial_dist: np.ndarray | None = None
+    ) -> AdaLeafNode:
+        return AdaLeafNode(
+            n_classes=max(self.n_classes_, 2),
+            n_features=self.n_features_,
+            leaf_prediction=self.leaf_prediction,
+            n_split_points=self.n_split_points,
+            nominal_features=self.nominal_features,
+            depth=depth,
+            initial_dist=initial_dist,
+            adwin_delta=self.adwin_delta,
+        )
+
+    def _split_leaf(
+        self,
+        leaf: LeafNode,
+        suggestion: SplitSuggestion,
+        parent: SplitNode | None,
+        branch: int,
+    ) -> None:
+        new_split = AdaSplitNode(
+            feature=suggestion.feature,
+            threshold=suggestion.threshold,
+            is_nominal=suggestion.is_nominal,
+            class_dist=leaf.class_dist.copy(),
+            depth=leaf.depth,
+            adwin_delta=self.adwin_delta,
+        )
+        for child_idx in range(2):
+            initial = (
+                suggestion.children_dists[child_idx]
+                if len(suggestion.children_dists) == 2
+                else None
+            )
+            new_split.children[child_idx] = self._new_leaf(
+                depth=leaf.depth + 1, initial_dist=initial
+            )
+        self._replace_child(parent, branch, new_split)
+        self.n_split_events += 1
+
+    # ---------------------------------------------------------------- learn
+    def _learn_one(self, x: np.ndarray, y_idx: int) -> None:
+        if self.root is None:
+            self.root = self._new_leaf(depth=0)
+        self._learn_in_subtree(self.root, x, y_idx, parent=None, branch=0)
+
+    def _subtree_predict(self, node, x: np.ndarray) -> int:
+        """Class index predicted by the subtree rooted at ``node``."""
+        n_classes = max(self.n_classes_, 2)
+        while isinstance(node, SplitNode):
+            child = node.child_for(x)
+            if child is None:
+                dist = node.class_dist
+                if dist.sum() == 0:
+                    return 0
+                return int(np.argmax(dist))
+            node = child
+        return int(np.argmax(node.predict_proba(x, n_classes)))
+
+    def _learn_in_subtree(
+        self, node, x: np.ndarray, y_idx: int, parent, branch: int
+    ) -> None:
+        if isinstance(node, AdaSplitNode):
+            self._learn_split_node(node, x, y_idx, parent, branch)
+        else:
+            self._learn_leaf_node(node, x, y_idx, parent, branch)
+
+    def _learn_leaf_node(
+        self, leaf: AdaLeafNode, x: np.ndarray, y_idx: int, parent, branch: int
+    ) -> None:
+        prediction = self._subtree_predict(leaf, x)
+        leaf.adwin.update(float(prediction != y_idx))
+        leaf.learn_one(x, y_idx, n_classes=max(self.n_classes_, 2))
+        if self._can_split(leaf):
+            weight_seen = leaf.total_weight
+            if weight_seen - leaf.weight_at_last_split_attempt >= self.grace_period:
+                leaf.weight_at_last_split_attempt = weight_seen
+                self._attempt_split(leaf, parent, branch)
+
+    def _learn_split_node(
+        self, node: AdaSplitNode, x: np.ndarray, y_idx: int, parent, branch: int
+    ) -> None:
+        error = float(self._subtree_predict(node, x) != y_idx)
+        previous_error = node.adwin.mean
+        drift = node.adwin.update(error)
+
+        if node.alternate_tree is None:
+            if drift and node.adwin.mean > previous_error:
+                node.alternate_tree = self._new_leaf(depth=node.depth)
+                node.main_errors_since_alt = 0.0
+                node.alt_errors = 0.0
+                node.alt_weight = 0.0
+                self.n_alternate_trees += 1
+        else:
+            # Train the alternate subtree in parallel and track both errors.
+            alt_error = float(self._subtree_predict(node.alternate_tree, x) != y_idx)
+            node.alt_errors += alt_error
+            node.main_errors_since_alt += error
+            node.alt_weight += 1.0
+            self._learn_in_subtree(
+                node.alternate_tree, x, y_idx, parent=node, branch=-1
+            )
+            if node.alt_weight >= self.alternate_min_weight:
+                alt_rate = node.alt_errors / node.alt_weight
+                main_rate = node.main_errors_since_alt / node.alt_weight
+                if alt_rate < main_rate:
+                    self._replace_child(parent, branch, node.alternate_tree)
+                    self.n_tree_swaps += 1
+                    # Continue learning inside the promoted subtree.
+                    node = None
+                elif alt_rate > main_rate + 0.05:
+                    node.alternate_tree = None
+                    self.n_pruned_alternates += 1
+                if node is None:
+                    return
+
+        # Route the observation down the main branch.
+        child_branch = node.branch_for(x)
+        child = node.children[child_branch]
+        if child is None:
+            child = self._new_leaf(depth=node.depth + 1)
+            node.children[child_branch] = child
+        self._learn_in_subtree(child, x, y_idx, parent=node, branch=child_branch)
+
+    def _replace_child(self, parent, branch: int, new_node) -> None:
+        if parent is None:
+            self.root = new_node
+        elif branch == -1:
+            parent.alternate_tree = new_node
+        else:
+            parent.children[branch] = new_node
+
+    # ------------------------------------------------------- interpretability
+    def _main_tree_nodes(self) -> list:
+        """Nodes of the main tree only (alternate subtrees are excluded)."""
+        if self.root is None:
+            return []
+        nodes = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if isinstance(node, SplitNode):
+                stack.extend(child for child in node.children if child is not None)
+        return nodes
+
+    def complexity(self) -> ComplexityReport:
+        if self.root is None:
+            return ComplexityReport(n_splits=0, n_parameters=0)
+        nodes = self._main_tree_nodes()
+        n_inner = sum(1 for node in nodes if isinstance(node, SplitNode))
+        n_leaves = sum(1 for node in nodes if isinstance(node, LeafNode))
+        n_classes = max(self.n_classes_, 2)
+        if self.leaf_prediction == "mc":
+            leaf_splits, leaf_params = 0, 1
+        else:
+            leaf_splits = 1 if n_classes == 2 else n_classes
+            leaf_params = self.n_features_ * (1 if n_classes == 2 else n_classes)
+        return ComplexityReport(
+            n_splits=n_inner + leaf_splits * n_leaves,
+            n_parameters=n_inner + leaf_params * n_leaves,
+            n_nodes=n_inner + n_leaves,
+            n_leaves=n_leaves,
+            depth=tree_depth(self.root),
+        )

@@ -1,0 +1,35 @@
+"""Hoeffding's inequality as used by incremental decision trees.
+
+The VFDT, HT-Ada, EFDT and FIMT-DD baselines all use Hoeffding's inequality
+to decide when enough observations have been seen to commit to a split
+(Domingos & Hulten, 2000).  The Dynamic Model Tree deliberately does not.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def hoeffding_bound(value_range: float, confidence: float, n: float) -> float:
+    """Hoeffding bound ``ε = sqrt(R² ln(1/δ) / (2n))``.
+
+    Parameters
+    ----------
+    value_range:
+        Range ``R`` of the random variable (e.g. ``log2(c)`` for information
+        gain over ``c`` classes, 1.0 for Gini or SDR ratios).
+    confidence:
+        Significance level ``δ``: with probability ``1 − δ`` the true mean is
+        within ``ε`` of the empirical mean.
+    n:
+        Number of independent observations.
+    """
+    if n <= 0:
+        return math.inf
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence!r}.")
+    if value_range <= 0:
+        raise ValueError(f"value_range must be > 0, got {value_range!r}.")
+    return math.sqrt(
+        value_range * value_range * math.log(1.0 / confidence) / (2.0 * n)
+    )

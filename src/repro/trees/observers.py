@@ -1,0 +1,277 @@
+"""Attribute observers used by the Hoeffding-tree family.
+
+An attribute observer summarises the joint distribution of one feature and
+the class label at a leaf and proposes binary split points.  Numeric features
+use a per-class Gaussian estimator (the standard VFDT approach); nominal
+features use per-value class counts.  The paper restricts all trees to binary
+splits, so both observers only emit binary suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trees.criteria import SplitCriterion, VarianceReductionCriterion
+
+
+@dataclass
+class SplitSuggestion:
+    """A candidate binary split of one feature."""
+
+    feature: int
+    threshold: float
+    merit: float
+    children_dists: list[np.ndarray] = field(default_factory=list)
+    is_nominal: bool = False
+
+    def route_left(self, value: float) -> bool:
+        """Return whether a feature value goes to the left branch."""
+        if self.is_nominal:
+            return value == self.threshold
+        return value <= self.threshold
+
+
+class GaussianEstimator:
+    """Incremental univariate Gaussian with Welford moment updates."""
+
+    __slots__ = ("weight", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.weight = 0.0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        if weight <= 0:
+            return
+        self.weight += weight
+        delta = value - self.mean
+        self.mean += weight * delta / self.weight
+        self._m2 += weight * delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        if self.weight <= 1.0:
+            return 0.0
+        return max(self._m2 / (self.weight - 1.0), 0.0)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def cdf(self, value: float) -> float:
+        """Probability mass of the Gaussian at or below ``value``."""
+        if self.weight == 0:
+            return 0.0
+        std = self.std
+        if std == 0.0:
+            return 1.0 if value >= self.mean else 0.0
+        z = (value - self.mean) / (std * np.sqrt(2.0))
+        return float(0.5 * (1.0 + _erf(z)))
+
+    def weight_below(self, value: float) -> float:
+        """Estimated weight of observations with values at or below ``value``."""
+        return self.weight * self.cdf(value)
+
+
+def _erf(z: float) -> float:
+    """Error function via Abramowitz-Stegun approximation (vector-safe)."""
+    sign = np.sign(z)
+    z = abs(z)
+    t = 1.0 / (1.0 + 0.3275911 * z)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return float(sign * (1.0 - poly * np.exp(-z * z)))
+
+
+class GaussianAttributeObserver:
+    """Per-class Gaussian observer for one numeric feature.
+
+    Parameters
+    ----------
+    n_split_points:
+        Number of candidate thresholds evaluated between the observed minimum
+        and maximum of the feature (the VFDT default of 10 is used throughout
+        the paper's baselines).
+    """
+
+    def __init__(self, n_split_points: int = 10) -> None:
+        if n_split_points < 1:
+            raise ValueError(
+                f"n_split_points must be >= 1, got {n_split_points!r}."
+            )
+        self.n_split_points = int(n_split_points)
+        self._per_class: dict[int, GaussianEstimator] = {}
+        self._min_value = np.inf
+        self._max_value = -np.inf
+
+    @property
+    def total_weight(self) -> float:
+        return float(sum(est.weight for est in self._per_class.values()))
+
+    def update(self, value: float, class_idx: int, weight: float = 1.0) -> None:
+        estimator = self._per_class.setdefault(int(class_idx), GaussianEstimator())
+        estimator.update(float(value), weight)
+        self._min_value = min(self._min_value, float(value))
+        self._max_value = max(self._max_value, float(value))
+
+    # ----------------------------------------------------- classification
+    def _candidate_thresholds(self) -> np.ndarray:
+        if not np.isfinite(self._min_value) or self._max_value <= self._min_value:
+            return np.array([])
+        return np.linspace(self._min_value, self._max_value, self.n_split_points + 2)[
+            1:-1
+        ]
+
+    def class_dists_below(self, threshold: float, n_classes: int) -> np.ndarray:
+        """Estimated class distribution of values at or below ``threshold``."""
+        dist = np.zeros(n_classes)
+        for class_idx, estimator in self._per_class.items():
+            if class_idx < n_classes:
+                dist[class_idx] = estimator.weight_below(threshold)
+        return dist
+
+    def class_dist(self, n_classes: int) -> np.ndarray:
+        dist = np.zeros(n_classes)
+        for class_idx, estimator in self._per_class.items():
+            if class_idx < n_classes:
+                dist[class_idx] = estimator.weight
+        return dist
+
+    def best_split_suggestion(
+        self,
+        criterion: SplitCriterion,
+        pre_split: np.ndarray,
+        feature: int,
+    ) -> SplitSuggestion | None:
+        """Best binary threshold split of this feature according to ``criterion``."""
+        thresholds = self._candidate_thresholds()
+        if thresholds.size == 0:
+            return None
+        n_classes = len(pre_split)
+        observed = self.class_dist(n_classes)
+        best: SplitSuggestion | None = None
+        for threshold in thresholds:
+            left = self.class_dists_below(threshold, n_classes)
+            right = np.maximum(observed - left, 0.0)
+            merit = criterion.merit(pre_split, [left, right])
+            if best is None or merit > best.merit:
+                best = SplitSuggestion(
+                    feature=feature,
+                    threshold=float(threshold),
+                    merit=float(merit),
+                    children_dists=[left, right],
+                )
+        return best
+
+    # --------------------------------------------------------- regression
+    def target_stats_split(
+        self, threshold: float
+    ) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        """(count, sum, sum_sq) of the numeric target left / right of ``threshold``.
+
+        Used by the FIMT-DD classification adaptation, which treats the class
+        index as a numeric target: the per-class Gaussian estimators give the
+        estimated count of each class on either side of the threshold.
+        """
+        left = np.zeros(3)
+        right = np.zeros(3)
+        for class_idx, estimator in self._per_class.items():
+            weight_left = estimator.weight_below(threshold)
+            weight_right = estimator.weight - weight_left
+            left += np.array(
+                [weight_left, weight_left * class_idx, weight_left * class_idx**2]
+            )
+            right += np.array(
+                [
+                    weight_right,
+                    weight_right * class_idx,
+                    weight_right * class_idx**2,
+                ]
+            )
+        return tuple(left), tuple(right)
+
+    def best_sdr_suggestion(
+        self, criterion: VarianceReductionCriterion, feature: int
+    ) -> SplitSuggestion | None:
+        """Best threshold according to standard-deviation reduction."""
+        thresholds = self._candidate_thresholds()
+        if thresholds.size == 0:
+            return None
+        total = np.zeros(3)
+        for class_idx, estimator in self._per_class.items():
+            total += np.array(
+                [
+                    estimator.weight,
+                    estimator.weight * class_idx,
+                    estimator.weight * class_idx**2,
+                ]
+            )
+        best: SplitSuggestion | None = None
+        for threshold in thresholds:
+            left, right = self.target_stats_split(threshold)
+            merit = criterion.merit(tuple(total), [left, right])
+            if best is None or merit > best.merit:
+                best = SplitSuggestion(
+                    feature=feature, threshold=float(threshold), merit=float(merit)
+                )
+        return best
+
+
+class NominalAttributeObserver:
+    """Per-value class counts for one nominal feature.
+
+    Emits binary "value == v versus rest" suggestions because the paper
+    restricts every tree to binary splits.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[float, dict[int, float]] = {}
+
+    @property
+    def total_weight(self) -> float:
+        return float(
+            sum(sum(class_counts.values()) for class_counts in self._counts.values())
+        )
+
+    def update(self, value: float, class_idx: int, weight: float = 1.0) -> None:
+        value_counts = self._counts.setdefault(float(value), {})
+        value_counts[int(class_idx)] = value_counts.get(int(class_idx), 0.0) + weight
+
+    def class_dist_for_value(self, value: float, n_classes: int) -> np.ndarray:
+        dist = np.zeros(n_classes)
+        for class_idx, weight in self._counts.get(float(value), {}).items():
+            if class_idx < n_classes:
+                dist[class_idx] = weight
+        return dist
+
+    def best_split_suggestion(
+        self,
+        criterion: SplitCriterion,
+        pre_split: np.ndarray,
+        feature: int,
+    ) -> SplitSuggestion | None:
+        if len(self._counts) < 2:
+            return None
+        n_classes = len(pre_split)
+        observed = np.zeros(n_classes)
+        for value in self._counts:
+            observed += self.class_dist_for_value(value, n_classes)
+        best: SplitSuggestion | None = None
+        for value in self._counts:
+            left = self.class_dist_for_value(value, n_classes)
+            right = np.maximum(observed - left, 0.0)
+            merit = criterion.merit(pre_split, [left, right])
+            if best is None or merit > best.merit:
+                best = SplitSuggestion(
+                    feature=feature,
+                    threshold=float(value),
+                    merit=float(merit),
+                    children_dists=[left, right],
+                    is_nominal=True,
+                )
+        return best

@@ -1,0 +1,276 @@
+"""VFDT -- the Very Fast Decision Tree / Hoeffding Tree (Domingos & Hulten, 2000).
+
+This is the basic Hoeffding Tree baseline of the paper, evaluated with
+majority-class leaves (``leaf_prediction="mc"``) and with adaptive Naive
+Bayes leaves (``leaf_prediction="nba"``, Gama et al. 2003).  Only binary
+splits are produced, matching the paper's experimental configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.base import ComplexityReport, StreamClassifier
+from repro.trees.base import LeafNode, SplitNode, iter_nodes, tree_depth
+from repro.trees.criteria import GiniCriterion, InfoGainCriterion, SplitCriterion
+from repro.trees.hoeffding import hoeffding_bound
+from repro.trees.observers import SplitSuggestion
+from repro.utils.validation import check_in_range, check_positive
+
+_CRITERIA = {"info_gain": InfoGainCriterion, "gini": GiniCriterion}
+
+
+class HoeffdingTreeClassifier(StreamClassifier):
+    """Incremental Hoeffding Tree for streaming classification.
+
+    Parameters
+    ----------
+    grace_period:
+        Number of observations a leaf must accumulate between split attempts.
+    split_confidence:
+        Significance level ``δ`` of the Hoeffding bound.
+    tie_threshold:
+        Tie-breaking threshold ``τ``: split anyway once the bound drops below
+        this value.
+    leaf_prediction:
+        ``"mc"`` (majority class, the paper's VFDT(MC)), ``"nb"`` or ``"nba"``
+        (adaptive Naive Bayes, the paper's VFDT(NBA)).
+    split_criterion:
+        ``"info_gain"`` (default) or ``"gini"``.
+    n_split_points:
+        Candidate thresholds evaluated per numeric feature.
+    max_depth:
+        Optional hard limit on the tree depth.
+    nominal_features:
+        Indices of nominal features (observed by value instead of Gaussian).
+    """
+
+    def __init__(
+        self,
+        grace_period: int = 200,
+        split_confidence: float = 1e-7,
+        tie_threshold: float = 0.05,
+        leaf_prediction: str = "mc",
+        split_criterion: str = "info_gain",
+        n_split_points: int = 10,
+        max_depth: int | None = None,
+        nominal_features: set[int] | None = None,
+    ) -> None:
+        super().__init__()
+        check_positive(grace_period, "grace_period")
+        check_in_range(split_confidence, "split_confidence", 0.0, 1.0, inclusive=False)
+        check_in_range(tie_threshold, "tie_threshold", 0.0, 1.0)
+        if split_criterion not in _CRITERIA:
+            raise ValueError(
+                f"split_criterion must be one of {sorted(_CRITERIA)}, "
+                f"got {split_criterion!r}."
+            )
+        if leaf_prediction not in {"mc", "nb", "nba"}:
+            raise ValueError(
+                "leaf_prediction must be one of 'mc', 'nb', 'nba', "
+                f"got {leaf_prediction!r}."
+            )
+        self.grace_period = int(grace_period)
+        self.split_confidence = float(split_confidence)
+        self.tie_threshold = float(tie_threshold)
+        self.leaf_prediction = leaf_prediction
+        self.split_criterion = split_criterion
+        self.n_split_points = int(n_split_points)
+        self.max_depth = max_depth
+        self.nominal_features = set(nominal_features or set())
+        self.root: LeafNode | SplitNode | None = None
+        self._criterion: SplitCriterion = _CRITERIA[split_criterion]()
+        self.n_split_events = 0
+
+    # -------------------------------------------------------------- fitting
+    def reset(self) -> "HoeffdingTreeClassifier":
+        self.root = None
+        self.classes_ = None
+        self.n_features_ = None
+        self.n_split_events = 0
+        return self
+
+    def _new_leaf(
+        self, depth: int, initial_dist: np.ndarray | None = None
+    ) -> LeafNode:
+        return LeafNode(
+            n_classes=max(self.n_classes_, 2),
+            n_features=self.n_features_,
+            leaf_prediction=self.leaf_prediction,
+            n_split_points=self.n_split_points,
+            nominal_features=self.nominal_features,
+            depth=depth,
+            initial_dist=initial_dist,
+        )
+
+    def partial_fit(
+        self, X: np.ndarray, y: np.ndarray, classes: np.ndarray | None = None
+    ) -> "HoeffdingTreeClassifier":
+        X, y = self._validate_input(X, y)
+        self._update_classes(y, classes)
+        if self.root is None:
+            self.root = self._new_leaf(depth=0)
+        y_idx = self.class_index(y)
+        for row in range(len(X)):
+            self._learn_one(X[row], int(y_idx[row]))
+        return self
+
+    def _learn_one(self, x: np.ndarray, y_idx: int) -> None:
+        leaf, parent, branch = self._sort_to_leaf(x)
+        leaf.learn_one(x, y_idx, n_classes=max(self.n_classes_, 2))
+        if self._can_split(leaf):
+            weight_seen = leaf.total_weight
+            if (
+                weight_seen - leaf.weight_at_last_split_attempt
+                >= self.grace_period
+            ):
+                leaf.weight_at_last_split_attempt = weight_seen
+                self._attempt_split(leaf, parent, branch)
+
+    def _can_split(self, leaf: LeafNode) -> bool:
+        if leaf.is_pure:
+            return False
+        if self.max_depth is not None and leaf.depth >= self.max_depth:
+            return False
+        return True
+
+    def _sort_to_leaf(
+        self, x: np.ndarray
+    ) -> tuple[LeafNode, SplitNode | None, int]:
+        """Walk the tree and return (leaf, parent split node, branch index)."""
+        node = self.root
+        parent: SplitNode | None = None
+        branch = 0
+        while isinstance(node, SplitNode):
+            parent = node
+            branch = node.branch_for(x)
+            child = node.children[branch]
+            if child is None:
+                child = self._new_leaf(depth=node.depth + 1)
+                node.children[branch] = child
+            node = child
+        return node, parent, branch
+
+    # ---------------------------------------------------------------- split
+    def _attempt_split(
+        self, leaf: LeafNode, parent: SplitNode | None, branch: int
+    ) -> None:
+        suggestions = leaf.best_split_suggestions(self._criterion)
+        suggestions.sort(key=lambda suggestion: suggestion.merit)
+        if len(suggestions) < 2:
+            return
+        best, second = suggestions[-1], suggestions[-2]
+        bound = hoeffding_bound(
+            self._criterion.merit_range(leaf.class_dist),
+            self.split_confidence,
+            leaf.total_weight,
+        )
+        should_split = best.feature != -1 and best.merit > 0 and (
+            best.merit - second.merit > bound or bound < self.tie_threshold
+        )
+        if should_split:
+            self._split_leaf(leaf, best, parent, branch)
+
+    def _split_leaf(
+        self,
+        leaf: LeafNode,
+        suggestion: SplitSuggestion,
+        parent: SplitNode | None,
+        branch: int,
+    ) -> None:
+        new_split = SplitNode(
+            feature=suggestion.feature,
+            threshold=suggestion.threshold,
+            is_nominal=suggestion.is_nominal,
+            class_dist=leaf.class_dist.copy(),
+            depth=leaf.depth,
+        )
+        for child_idx in range(2):
+            initial = (
+                suggestion.children_dists[child_idx]
+                if len(suggestion.children_dists) == 2
+                else None
+            )
+            new_split.children[child_idx] = self._new_leaf(
+                depth=leaf.depth + 1, initial_dist=initial
+            )
+        self._replace_child(parent, branch, new_split)
+        self.n_split_events += 1
+
+    def _replace_child(
+        self, parent: SplitNode | None, branch: int, new_node
+    ) -> None:
+        if parent is None:
+            self.root = new_node
+        else:
+            parent.children[branch] = new_node
+
+    # ------------------------------------------------------------ inference
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X, _ = self._validate_input(X)
+        if self.root is None or self.classes_ is None:
+            raise RuntimeError("predict_proba() called before partial_fit().")
+        n_classes = max(self.n_classes_, 2)
+        proba = np.zeros((len(X), self.n_classes_))
+        for row, x in enumerate(X):
+            node = self.root
+            while isinstance(node, SplitNode):
+                child = node.child_for(x)
+                if child is None:
+                    break
+                node = child
+            if isinstance(node, SplitNode):
+                dist = node.class_dist
+                total = dist.sum()
+                leaf_proba = (
+                    np.full(n_classes, 1.0 / n_classes)
+                    if total == 0
+                    else np.pad(dist, (0, max(n_classes - len(dist), 0)))[:n_classes]
+                    / total
+                )
+            else:
+                leaf_proba = node.predict_proba(x, n_classes)
+            proba[row] = leaf_proba[: self.n_classes_]
+        row_sums = proba.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return proba / row_sums
+
+    # ------------------------------------------------------- interpretability
+    def _count_nodes(self) -> tuple[int, int]:
+        nodes = iter_nodes(self.root)
+        n_inner = sum(1 for node in nodes if isinstance(node, SplitNode))
+        n_leaves = sum(1 for node in nodes if isinstance(node, LeafNode))
+        return n_inner, n_leaves
+
+    def complexity(self) -> ComplexityReport:
+        """Complexity under the paper's counting rules (Section VI-D2)."""
+        if self.root is None:
+            return ComplexityReport(n_splits=0, n_parameters=0)
+        n_inner, n_leaves = self._count_nodes()
+        n_classes = max(self.n_classes_, 2)
+        if self.leaf_prediction == "mc":
+            leaf_splits = 0
+            leaf_params = 1
+        else:
+            leaf_splits = 1 if n_classes == 2 else n_classes
+            leaf_params = self.n_features_ * (1 if n_classes == 2 else n_classes)
+        return ComplexityReport(
+            n_splits=n_inner + leaf_splits * n_leaves,
+            n_parameters=n_inner + leaf_params * n_leaves,
+            n_nodes=n_inner + n_leaves,
+            n_leaves=n_leaves,
+            depth=tree_depth(self.root),
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        n_inner, n_leaves = self._count_nodes()
+        return n_inner + n_leaves
+
+    @property
+    def n_leaves(self) -> int:
+        return self._count_nodes()[1]
+
+    @property
+    def depth(self) -> int:
+        return tree_depth(self.root)

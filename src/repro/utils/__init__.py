@@ -1,0 +1,17 @@
+"""Small shared utilities (validation, random state handling)."""
+
+from repro.utils.validation import (
+    check_features,
+    check_labels,
+    check_random_state,
+    check_positive,
+    check_in_range,
+)
+
+__all__ = [
+    "check_features",
+    "check_labels",
+    "check_random_state",
+    "check_positive",
+    "check_in_range",
+]

@@ -1,0 +1,94 @@
+"""Tests for the shared classifier interface and complexity report."""
+
+import numpy as np
+import pytest
+
+from repro.base import ComplexityReport, StreamClassifier
+
+
+class _DummyClassifier(StreamClassifier):
+    """Minimal concrete classifier used to exercise the base-class helpers."""
+
+    def partial_fit(self, X, y, classes=None):
+        X, y = self._validate_input(X, y)
+        self._update_classes(y, classes)
+        return self
+
+    def predict_proba(self, X):
+        X, _ = self._validate_input(X)
+        if self.classes_ is None:
+            raise RuntimeError("predict_proba() called before partial_fit().")
+        return np.full((len(X), self.n_classes_), 1.0 / self.n_classes_)
+
+    def complexity(self):
+        return ComplexityReport(n_splits=0, n_parameters=0)
+
+    def reset(self):
+        self.classes_ = None
+        self.n_features_ = None
+        return self
+
+
+class TestComplexityReport:
+    def test_addition_sums_counts(self):
+        first = ComplexityReport(n_splits=2, n_parameters=5, n_nodes=3, n_leaves=2, depth=1)
+        second = ComplexityReport(n_splits=1, n_parameters=4, n_nodes=1, n_leaves=1, depth=3)
+        combined = first + second
+        assert combined.n_splits == 3
+        assert combined.n_parameters == 9
+        assert combined.n_nodes == 4
+        assert combined.n_leaves == 3
+        assert combined.depth == 3
+
+    def test_is_frozen(self):
+        report = ComplexityReport(n_splits=1, n_parameters=1)
+        with pytest.raises(AttributeError):
+            report.n_splits = 5
+
+
+class TestStreamClassifierBase:
+    def test_tracks_feature_count(self):
+        model = _DummyClassifier()
+        model.partial_fit(np.zeros((4, 3)), np.array([0, 1, 0, 1]))
+        assert model.n_features_ == 3
+
+    def test_rejects_feature_count_change(self):
+        model = _DummyClassifier()
+        model.partial_fit(np.zeros((4, 3)), np.array([0, 1, 0, 1]))
+        with pytest.raises(ValueError, match="features"):
+            model.partial_fit(np.zeros((4, 5)), np.array([0, 1, 0, 1]))
+
+    def test_rejects_length_mismatch(self):
+        model = _DummyClassifier()
+        with pytest.raises(ValueError, match="inconsistent"):
+            model.partial_fit(np.zeros((4, 3)), np.array([0, 1, 0]))
+
+    def test_class_tracking_is_sorted_union(self):
+        model = _DummyClassifier()
+        model.partial_fit(np.zeros((2, 2)), np.array([3, 1]))
+        model.partial_fit(np.zeros((2, 2)), np.array([2, 2]), classes=[0, 1, 2, 3])
+        assert model.classes_.tolist() == [0, 1, 2, 3]
+        assert model.n_classes_ == 4
+
+    def test_class_index_maps_labels(self):
+        model = _DummyClassifier()
+        model.partial_fit(np.zeros((3, 2)), np.array([5, 7, 9]))
+        np.testing.assert_array_equal(
+            model.class_index(np.array([9, 5, 7])), np.array([2, 0, 1])
+        )
+
+    def test_predict_uses_argmax_over_classes(self):
+        model = _DummyClassifier()
+        model.partial_fit(np.zeros((2, 2)), np.array([4, 8]))
+        predictions = model.predict(np.zeros((3, 2)))
+        assert set(predictions.tolist()) <= {4, 8}
+
+    def test_predict_before_fit_raises(self):
+        model = _DummyClassifier()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+
+    def test_class_index_before_fit_raises(self):
+        model = _DummyClassifier()
+        with pytest.raises(RuntimeError):
+            model.class_index(np.array([1]))

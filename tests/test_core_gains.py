@@ -1,0 +1,105 @@
+"""Tests for the DMT gain functions and AIC thresholds."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gains import (
+    aic_prune_threshold,
+    aic_resplit_threshold,
+    aic_split_threshold,
+    approximate_candidate_loss,
+    prune_gain,
+    split_gain,
+)
+
+
+class TestCandidateLossApproximation:
+    def test_zero_count_returns_parent_loss(self):
+        assert approximate_candidate_loss(5.0, np.zeros(3), 0, 0.05) == 5.0
+
+    def test_zero_gradient_keeps_parent_loss(self):
+        assert approximate_candidate_loss(5.0, np.zeros(3), 10, 0.05) == 5.0
+
+    def test_gradient_reduces_loss(self):
+        loss = approximate_candidate_loss(5.0, np.array([1.0, 2.0]), 10, 0.1)
+        assert loss == pytest.approx(5.0 - 0.1 / 10 * 5.0)
+
+    def test_never_negative(self):
+        loss = approximate_candidate_loss(0.1, np.array([100.0]), 1, 1.0)
+        assert loss == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        parent_loss=st.floats(0.0, 1e3),
+        count=st.integers(1, 1000),
+        learning_rate=st.floats(1e-4, 1.0),
+        seed=st.integers(0, 1000),
+    )
+    def test_approximation_never_exceeds_parent_loss(
+        self, parent_loss, count, learning_rate, seed
+    ):
+        """Equation (7) subtracts a non-negative term, so it cannot increase."""
+        gradient = np.random.default_rng(seed).normal(size=4)
+        approx = approximate_candidate_loss(parent_loss, gradient, count, learning_rate)
+        assert approx <= parent_loss + 1e-12
+        assert approx >= 0.0
+
+
+class TestGains:
+    def test_split_gain_is_loss_difference(self):
+        assert split_gain(10.0, 3.0, 4.0) == pytest.approx(3.0)
+
+    def test_split_gain_negative_when_children_worse(self):
+        assert split_gain(5.0, 4.0, 4.0) < 0
+
+    def test_prune_gain_positive_when_leaf_model_better(self):
+        assert prune_gain(subtree_leaf_loss=10.0, inner_node_loss=7.0) == pytest.approx(3.0)
+
+    def test_prune_gain_negative_when_subtree_better(self):
+        assert prune_gain(subtree_leaf_loss=5.0, inner_node_loss=9.0) < 0
+
+
+class TestThresholds:
+    def test_split_threshold_simplifies_to_k_minus_log_eps(self):
+        # With identical model types: G >= k - log(eps)  (Section V-C).
+        k = 7
+        epsilon = 1e-8
+        assert aic_split_threshold(k, k, k, epsilon) == pytest.approx(
+            k - math.log(epsilon)
+        )
+
+    def test_split_threshold_grows_as_epsilon_shrinks(self):
+        loose = aic_split_threshold(3, 3, 3, 1e-2)
+        strict = aic_split_threshold(3, 3, 3, 1e-10)
+        assert strict > loose
+
+    def test_resplit_threshold_decreases_with_large_subtrees(self):
+        # Replacing a big subtree by two leaves saves parameters, so the
+        # threshold is lower than for replacing a small subtree.
+        small = aic_resplit_threshold(3, 3, k_subtree_leaves=6, epsilon=1e-8)
+        large = aic_resplit_threshold(3, 3, k_subtree_leaves=30, epsilon=1e-8)
+        assert large < small
+
+    def test_prune_threshold_rewards_parameter_savings(self):
+        threshold = aic_prune_threshold(k_node=3, k_subtree_leaves=30, epsilon=1e-8)
+        assert threshold < aic_prune_threshold(3, 6, 1e-8)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            aic_split_threshold(3, 3, 3, 0.0)
+        with pytest.raises(ValueError):
+            aic_resplit_threshold(3, 3, 6, 1.5)
+        with pytest.raises(ValueError):
+            aic_prune_threshold(3, 6, -1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(k=st.integers(1, 100), epsilon=st.floats(1e-12, 1.0, exclude_max=True))
+    def test_split_threshold_always_positive_property(self, k, epsilon):
+        """For eps < 1 the threshold k - log(eps) is strictly positive, so a
+        split always needs a strictly positive gain -- which is what makes the
+        consistency property (Lemma 1) hold under the AIC test as well."""
+        assert aic_split_threshold(k, k, k, epsilon) > 0

@@ -1,0 +1,76 @@
+"""Tests for the DMT loss functions and information criteria."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.losses import (
+    akaike_information_criterion,
+    negative_log_likelihood,
+    per_sample_negative_log_likelihood,
+    relative_aic_likelihood,
+)
+
+
+class TestNegativeLogLikelihood:
+    def test_perfect_prediction_has_zero_loss(self):
+        proba = np.array([[1.0, 0.0], [0.0, 1.0]])
+        y = np.array([0, 1])
+        assert negative_log_likelihood(proba, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_matches_log_n_classes(self):
+        proba = np.full((4, 4), 0.25)
+        y = np.array([0, 1, 2, 3])
+        expected = 4 * np.log(4)
+        assert negative_log_likelihood(proba, y) == pytest.approx(expected)
+
+    def test_confidently_wrong_prediction_is_finite(self):
+        proba = np.array([[1.0, 0.0]])
+        y = np.array([1])
+        loss = negative_log_likelihood(proba, y)
+        assert np.isfinite(loss)
+        assert loss > 20.0
+
+    def test_per_sample_sums_to_total(self):
+        rng = np.random.default_rng(0)
+        proba = rng.dirichlet(np.ones(3), size=10)
+        y = rng.integers(0, 3, size=10)
+        np.testing.assert_allclose(
+            per_sample_negative_log_likelihood(proba, y).sum(),
+            negative_log_likelihood(proba, y),
+        )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            negative_log_likelihood(np.full((3, 2), 0.5), np.array([0, 1]))
+
+    def test_rejects_1d_proba(self):
+        with pytest.raises(ValueError):
+            negative_log_likelihood(np.array([0.5, 0.5]), np.array([0]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 30))
+    def test_loss_is_nonnegative_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        proba = rng.dirichlet(np.ones(4), size=n)
+        y = rng.integers(0, 4, size=n)
+        assert negative_log_likelihood(proba, y) >= 0.0
+
+
+class TestAIC:
+    def test_formula(self):
+        assert akaike_information_criterion(log_likelihood=-10.0, n_parameters=3) == (
+            pytest.approx(2 * 3 + 20.0)
+        )
+
+    def test_more_parameters_increase_aic_at_equal_likelihood(self):
+        small = akaike_information_criterion(-5.0, 2)
+        large = akaike_information_criterion(-5.0, 10)
+        assert large > small
+
+    def test_relative_likelihood_is_one_for_equal_aic(self):
+        assert relative_aic_likelihood(4.0, 4.0) == pytest.approx(1.0)
+
+    def test_relative_likelihood_below_one_when_candidate_better(self):
+        assert relative_aic_likelihood(2.0, 10.0) < 1.0

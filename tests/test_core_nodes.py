@@ -1,0 +1,169 @@
+"""Tests for the DMT node: statistics, structure changes, routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.nodes import DMTNode
+from repro.linear.glm import IncrementalGLM
+from tests.conftest import make_linear_binary
+
+
+def _make_node(n_features=3, n_classes=2, seed=0):
+    model = IncrementalGLM(
+        n_features=n_features, n_classes=n_classes, learning_rate=0.05, rng=seed
+    )
+    return DMTNode(
+        model=model,
+        n_features=n_features,
+        max_candidates=3 * n_features,
+        replacement_rate=0.5,
+        max_values_per_feature=10,
+    )
+
+
+class TestStatistics:
+    def test_fresh_node_is_leaf_with_zero_statistics(self):
+        node = _make_node()
+        assert node.is_leaf
+        assert node.loss == 0.0
+        assert node.count == 0.0
+        assert node.split_key is None
+
+    def test_update_accumulates_loss_gradient_count(self):
+        node = _make_node()
+        X, y = make_linear_binary(50, n_features=3)
+        expected_loss = node.model.negative_log_likelihood(X, y)
+        expected_grad = node.model.gradient(X, y)
+        node.update_statistics(X, y, learning_rate=0.05)
+        assert node.loss == pytest.approx(expected_loss)
+        np.testing.assert_allclose(node.gradient, expected_grad)
+        assert node.count == 50
+
+    def test_update_changes_model_weights(self):
+        node = _make_node()
+        X, y = make_linear_binary(50, n_features=3)
+        before = node.model.weights.copy()
+        node.update_statistics(X, y, learning_rate=0.05)
+        assert not np.allclose(before, node.model.weights)
+
+    def test_statistics_accumulate_across_batches(self):
+        node = _make_node()
+        X, y = make_linear_binary(60, n_features=3)
+        node.update_statistics(X[:30], y[:30], learning_rate=0.05)
+        first_loss = node.loss
+        node.update_statistics(X[30:], y[30:], learning_rate=0.05)
+        assert node.loss > first_loss
+        assert node.count == 60
+
+    def test_candidates_are_collected(self):
+        node = _make_node()
+        X, y = make_linear_binary(80, n_features=3)
+        node.update_statistics(X, y, learning_rate=0.05)
+        assert len(node.candidates) > 0
+        assert len(node.candidates) <= node.candidates.max_candidates
+
+
+class TestStructure:
+    def _trained_node_with_candidate(self):
+        node = _make_node(seed=1)
+        X, y = make_linear_binary(200, n_features=3, seed=1)
+        for start in range(0, 200, 40):
+            node.update_statistics(X[start : start + 40], y[start : start + 40], 0.05)
+        candidate, gain = node.best_split(learning_rate=0.05)
+        return node, candidate, gain
+
+    def test_apply_split_creates_two_leaves(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        assert candidate is not None
+        node.apply_split(candidate)
+        assert not node.is_leaf
+        assert node.left.is_leaf and node.right.is_leaf
+        assert node.split_feature == candidate.feature
+        assert node.split_threshold == pytest.approx(candidate.threshold)
+
+    def test_children_are_warm_started_near_parent(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        node.apply_split(candidate)
+        parent_weights = node.model.weights
+        # Children start from the parent's weights after one gradient step of
+        # equation (6); they should be close, not random.
+        for child in (node.left, node.right):
+            assert np.linalg.norm(child.model.weights - parent_weights) < 1.0
+
+    def test_collapse_to_leaf_removes_children(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        node.apply_split(candidate)
+        node.collapse_to_leaf()
+        assert node.is_leaf
+        assert node.split_key is None
+
+    def test_route_mask_partitions_batch(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        node.apply_split(candidate)
+        X, _ = make_linear_binary(30, n_features=3, seed=2)
+        mask = node.route_mask(X)
+        assert mask.dtype == bool
+        np.testing.assert_array_equal(
+            mask, X[:, node.split_feature] <= node.split_threshold
+        )
+
+    def test_route_mask_on_leaf_raises(self):
+        node = _make_node()
+        with pytest.raises(RuntimeError):
+            node.route_mask(np.zeros((2, 3)))
+
+    def test_subtree_accessors(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        node.apply_split(candidate)
+        assert len(node.subtree_nodes()) == 3
+        assert len(node.subtree_leaves()) == 2
+        assert node.depth() == 1
+        assert node.subtree_leaf_loss() == pytest.approx(
+            node.left.loss + node.right.loss
+        )
+        assert node.subtree_leaf_parameters() == (
+            node.left.model.n_parameters + node.right.model.n_parameters
+        )
+
+    def test_sorted_leaf_routes_to_correct_child(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        node.apply_split(candidate)
+        x_left = np.zeros(3)
+        x_left[node.split_feature] = node.split_threshold - 0.01
+        x_right = np.zeros(3)
+        x_right[node.split_feature] = node.split_threshold + 0.01
+        assert node.sorted_leaf(x_left) is node.left
+        assert node.sorted_leaf(x_right) is node.right
+
+    def test_make_child_requires_valid_side(self):
+        node, candidate, _ = self._trained_node_with_candidate()
+        with pytest.raises(ValueError):
+            node.make_child(candidate, "middle")
+
+
+class TestThresholds:
+    def test_leaf_split_threshold_matches_formula(self):
+        node = _make_node()
+        k = node.model.n_parameters
+        assert node.leaf_split_threshold(1e-8) == pytest.approx(
+            k - np.log(1e-8)
+        )
+
+    def test_prune_and_resplit_thresholds_after_split(self):
+        node, candidate, _ = TestStructure()._trained_node_with_candidate()
+        node.apply_split(candidate)
+        k = node.model.n_parameters
+        assert node.resplit_threshold(1e-8) == pytest.approx(
+            2 * k - 2 * k - np.log(1e-8)
+        )
+        assert node.prune_threshold(1e-8) == pytest.approx(
+            k - 2 * k - np.log(1e-8)
+        )
+
+    def test_prune_to_leaf_gain_uses_subtree_losses(self):
+        node, candidate, _ = TestStructure()._trained_node_with_candidate()
+        node.apply_split(candidate)
+        node.left.loss = 3.0
+        node.right.loss = 4.0
+        node.loss = 5.0
+        assert node.prune_to_leaf_gain() == pytest.approx(7.0 - 5.0)

@@ -1,0 +1,180 @@
+"""Tests for the concept-drift detectors (ADWIN, Page-Hinkley, DDM)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.drift import ADWIN, DDM, PageHinkley
+
+
+class TestADWIN:
+    def test_invalid_delta_raises(self):
+        with pytest.raises(ValueError):
+            ADWIN(delta=0.0)
+        with pytest.raises(ValueError):
+            ADWIN(delta=1.0)
+
+    def test_mean_tracks_stationary_signal(self):
+        rng = np.random.default_rng(0)
+        detector = ADWIN(delta=0.002)
+        for value in rng.binomial(1, 0.3, size=2000):
+            detector.update(float(value))
+        assert detector.mean == pytest.approx(0.3, abs=0.05)
+
+    def test_no_drift_on_stationary_signal(self):
+        rng = np.random.default_rng(1)
+        detector = ADWIN(delta=0.002)
+        drifts = sum(
+            detector.update(float(v)) for v in rng.binomial(1, 0.2, size=3000)
+        )
+        assert drifts == 0
+
+    def test_detects_mean_shift(self):
+        rng = np.random.default_rng(2)
+        detector = ADWIN(delta=0.002)
+        for value in rng.binomial(1, 0.1, size=1500):
+            detector.update(float(value))
+        detected = False
+        for value in rng.binomial(1, 0.9, size=1500):
+            if detector.update(float(value)):
+                detected = True
+        assert detected
+
+    def test_window_shrinks_after_drift(self):
+        rng = np.random.default_rng(3)
+        detector = ADWIN(delta=0.002)
+        for value in rng.binomial(1, 0.1, size=2000):
+            detector.update(float(value))
+        width_before = detector.width
+        for value in rng.binomial(1, 0.9, size=2000):
+            detector.update(float(value))
+        assert detector.width < width_before + 2000
+
+    def test_mean_follows_new_concept_after_drift(self):
+        rng = np.random.default_rng(4)
+        detector = ADWIN(delta=0.002)
+        for value in rng.binomial(1, 0.1, size=1500):
+            detector.update(float(value))
+        for value in rng.binomial(1, 0.8, size=2500):
+            detector.update(float(value))
+        assert detector.mean > 0.5
+
+    def test_reset_restores_initial_state(self):
+        detector = ADWIN()
+        for value in (0.0, 1.0, 1.0, 0.0, 1.0) * 20:
+            detector.update(value)
+        detector.reset()
+        assert detector.width == 0
+        assert detector.total == 0.0
+        assert detector.mean == 0.0
+
+    def test_width_matches_inserted_count_without_drift(self):
+        detector = ADWIN(delta=1e-9)  # essentially never cuts
+        for value in [0.5] * 500:
+            detector.update(value)
+        assert detector.width == 500
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_width_never_negative_property(self, seed):
+        rng = np.random.default_rng(seed)
+        detector = ADWIN(delta=0.01)
+        for value in rng.random(500):
+            detector.update(float(value))
+            assert detector.width >= 0
+            assert detector.variance >= -1e-9
+
+
+class TestPageHinkley:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-1.0)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(alpha=0.0)
+
+    def test_no_drift_on_stationary_signal(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkley(delta=0.005, threshold=50.0)
+        drifts = sum(
+            detector.update(float(v)) for v in rng.normal(0.2, 0.05, size=3000)
+        )
+        assert drifts == 0
+
+    def test_detects_increase_in_error(self):
+        rng = np.random.default_rng(1)
+        detector = PageHinkley(delta=0.005, threshold=20.0)
+        for value in rng.binomial(1, 0.1, size=1000):
+            detector.update(float(value))
+        detected = False
+        for value in rng.binomial(1, 0.9, size=1000):
+            if detector.update(float(value)):
+                detected = True
+        assert detected
+
+    def test_waits_for_min_observations(self):
+        detector = PageHinkley(min_observations=100, threshold=1e-6)
+        fired = [detector.update(1.0) for _ in range(50)]
+        assert not any(fired)
+
+    def test_statistics_reset_after_drift(self):
+        rng = np.random.default_rng(2)
+        detector = PageHinkley(threshold=10.0)
+        for value in rng.binomial(1, 0.05, size=500):
+            detector.update(float(value))
+        for value in rng.binomial(1, 0.95, size=500):
+            if detector.update(float(value)):
+                break
+        assert detector.n_observations < 1000
+
+    def test_reset(self):
+        detector = PageHinkley()
+        for value in (0.1, 0.9, 0.3):
+            detector.update(value)
+        detector.reset()
+        assert detector.n_observations == 0
+        assert not detector.in_drift
+
+
+class TestDDM:
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            DDM(warning_level=3.0, drift_level=2.0)
+
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ValueError):
+            DDM().update(0.5)
+
+    def test_no_drift_on_stationary_errors(self):
+        rng = np.random.default_rng(0)
+        detector = DDM()
+        drifts = sum(
+            detector.update(float(v)) for v in rng.binomial(1, 0.2, size=2000)
+        )
+        assert drifts == 0
+
+    def test_detects_error_rate_increase(self):
+        rng = np.random.default_rng(1)
+        detector = DDM()
+        for value in rng.binomial(1, 0.05, size=800):
+            detector.update(float(value))
+        detected = False
+        warned = False
+        for value in rng.binomial(1, 0.9, size=800):
+            if detector.update(float(value)):
+                detected = True
+            warned = warned or detector.in_warning
+        assert detected
+        assert warned or detected
+
+    def test_reset_after_drift(self):
+        rng = np.random.default_rng(2)
+        detector = DDM()
+        for value in rng.binomial(1, 0.05, size=500):
+            detector.update(float(value))
+        for value in rng.binomial(1, 0.95, size=500):
+            if detector.update(float(value)):
+                break
+        assert detector.n_observations < 1000

@@ -1,0 +1,134 @@
+"""Tests for the additional drift detectors (KSWIN, EDDM)."""
+
+import numpy as np
+import pytest
+
+from repro.drift import EDDM, KSWIN
+from repro.drift.kswin import _ks_statistic
+
+
+class TestKSStatistic:
+    def test_identical_samples_give_zero(self):
+        sample = np.array([1.0, 2.0, 3.0, 4.0])
+        assert _ks_statistic(sample, sample.copy()) == pytest.approx(0.0)
+
+    def test_disjoint_samples_give_one(self):
+        low = np.array([0.0, 0.1, 0.2])
+        high = np.array([5.0, 5.1, 5.2])
+        assert _ks_statistic(low, high) == pytest.approx(1.0)
+
+    def test_statistic_is_symmetric(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=30), rng.normal(0.5, 1.0, size=30)
+        assert _ks_statistic(a, b) == pytest.approx(_ks_statistic(b, a))
+
+
+class TestKSWIN:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            KSWIN(alpha=0.0)
+        with pytest.raises(ValueError):
+            KSWIN(window_size=50, stat_size=50)
+
+    def test_no_drift_before_window_fills(self):
+        detector = KSWIN(window_size=100, stat_size=30, seed=0)
+        fired = [detector.update(0.5) for _ in range(99)]
+        assert not any(fired)
+
+    def test_no_drift_on_stationary_signal(self):
+        rng = np.random.default_rng(1)
+        detector = KSWIN(alpha=0.0001, window_size=100, stat_size=30, seed=1)
+        drifts = sum(detector.update(float(v)) for v in rng.normal(0.5, 0.05, 2000))
+        assert drifts <= 2  # rare false alarms are acceptable at alpha=1e-4
+
+    def test_detects_distribution_shift(self):
+        rng = np.random.default_rng(2)
+        detector = KSWIN(alpha=0.01, window_size=100, stat_size=30, seed=2)
+        for value in rng.normal(0.2, 0.05, size=500):
+            detector.update(float(value))
+        detected = False
+        for value in rng.normal(0.8, 0.05, size=200):
+            if detector.update(float(value)):
+                detected = True
+                break
+        assert detected
+
+    def test_window_shrinks_after_drift(self):
+        rng = np.random.default_rng(3)
+        detector = KSWIN(alpha=0.01, window_size=100, stat_size=30, seed=3)
+        for value in rng.normal(0.2, 0.05, size=300):
+            detector.update(float(value))
+        for value in rng.normal(0.9, 0.05, size=200):
+            if detector.update(float(value)):
+                break
+        assert len(detector.window) <= 100
+
+    def test_reset(self):
+        detector = KSWIN(seed=0)
+        for value in np.linspace(0, 1, 150):
+            detector.update(float(value))
+        detector.reset()
+        assert len(detector.window) == 0
+        assert detector.n_observations == 0
+
+
+class TestEDDM:
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            EDDM(warning_level=0.8, drift_level=0.9)
+        with pytest.raises(ValueError):
+            EDDM(warning_level=1.2, drift_level=0.9)
+
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ValueError):
+            EDDM().update(0.3)
+
+    def test_no_drift_while_error_distance_grows(self):
+        """A model that keeps improving (errors getting sparser) must not
+        trigger drift."""
+        detector = EDDM(min_errors=10)
+        position = 0
+        gap = 1
+        drifts = 0
+        for _ in range(60):
+            for _ in range(gap):
+                drifts += detector.update(0.0)
+                position += 1
+            drifts += detector.update(1.0)
+            gap += 1
+        assert drifts == 0
+
+    def test_detects_error_clustering(self):
+        rng = np.random.default_rng(4)
+        detector = EDDM(min_errors=20)
+        # Stable phase: sparse errors.
+        for value in rng.binomial(1, 0.02, size=3000):
+            detector.update(float(value))
+        # Drift phase: errors cluster.
+        detected = False
+        for value in rng.binomial(1, 0.5, size=1500):
+            if detector.update(float(value)):
+                detected = True
+                break
+        assert detected
+
+    def test_warning_zone_is_reported(self):
+        rng = np.random.default_rng(5)
+        detector = EDDM(warning_level=0.99, drift_level=0.5, min_errors=20)
+        warned = False
+        for value in rng.binomial(1, 0.02, size=2000):
+            detector.update(float(value))
+        for value in rng.binomial(1, 0.3, size=2000):
+            detector.update(float(value))
+            warned = warned or detector.in_warning
+            if detector.in_drift:
+                break
+        assert warned or detector.in_drift
+
+    def test_reset(self):
+        detector = EDDM()
+        for value in (1.0, 0.0, 1.0, 0.0):
+            detector.update(value)
+        detector.reset()
+        assert detector.n_observations == 0
+        assert not detector.in_drift

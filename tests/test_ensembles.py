@@ -1,0 +1,150 @@
+"""Tests for the ensemble baselines (online bagging, Leveraging Bagging, ARF)."""
+
+import numpy as np
+import pytest
+
+from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
+from repro.ensembles.bagging import OzaBaggingClassifier
+from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
+from repro.trees.vfdt import HoeffdingTreeClassifier
+from tests.conftest import make_multiclass_blobs
+
+
+def _stream_fit(model, X, y, classes, batch=100):
+    for start in range(0, len(X), batch):
+        model.partial_fit(X[start : start + batch], y[start : start + batch], classes=classes)
+    return model
+
+
+def _fast_tree_factory():
+    """Hoeffding tree that commits to splits quickly enough for short tests."""
+    return HoeffdingTreeClassifier(grace_period=100, split_confidence=1e-3)
+
+
+def _abrupt_flip_stream(n=10_000, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 3))
+    y = (X[:, 0] > 0.5).astype(int)
+    y[n // 2 :] = 1 - y[n // 2 :]
+    return X, y
+
+
+class TestOzaBagging:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            OzaBaggingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            OzaBaggingClassifier(poisson_lambda=0.0)
+
+    def test_default_members_are_hoeffding_trees(self):
+        ensemble = OzaBaggingClassifier(n_estimators=3)
+        assert len(ensemble.estimators_) == 3
+        assert all(isinstance(m, HoeffdingTreeClassifier) for m in ensemble.estimators_)
+
+    def test_learns_blobs(self):
+        X, y = make_multiclass_blobs(6000, n_classes=3, n_features=4, seed=0)
+        ensemble = OzaBaggingClassifier(
+            n_estimators=3, base_estimator_factory=_fast_tree_factory, random_state=0
+        )
+        _stream_fit(ensemble, X, y, [0, 1, 2])
+        accuracy = np.mean(ensemble.predict(X[-500:]) == y[-500:])
+        assert accuracy > 0.85
+
+    def test_proba_is_distribution(self):
+        X, y = make_multiclass_blobs(1500, n_classes=3, n_features=3, seed=1)
+        ensemble = _stream_fit(
+            OzaBaggingClassifier(n_estimators=3, random_state=1), X, y, [0, 1, 2]
+        )
+        proba = ensemble.predict_proba(X[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_complexity_sums_members(self):
+        X, y = make_multiclass_blobs(3000, n_classes=2, n_features=3, seed=2)
+        ensemble = _stream_fit(
+            OzaBaggingClassifier(n_estimators=3, random_state=2), X, y, [0, 1]
+        )
+        total = sum(m.complexity().n_splits for m in ensemble.estimators_)
+        assert ensemble.complexity().n_splits == total
+
+    def test_reset_recreates_members(self):
+        ensemble = OzaBaggingClassifier(n_estimators=2, random_state=0)
+        X, y = make_multiclass_blobs(500, seed=3)
+        ensemble.partial_fit(X, y, classes=[0, 1, 2])
+        old_members = list(ensemble.estimators_)
+        ensemble.reset()
+        assert all(new is not old for new, old in zip(ensemble.estimators_, old_members))
+
+
+class TestLeveragingBagging:
+    def test_learns_blobs(self):
+        X, y = make_multiclass_blobs(6000, n_classes=3, n_features=4, seed=4)
+        ensemble = LeveragingBaggingClassifier(
+            n_estimators=3, base_estimator_factory=_fast_tree_factory, random_state=4
+        )
+        _stream_fit(ensemble, X, y, [0, 1, 2])
+        accuracy = np.mean(ensemble.predict(X[-500:]) == y[-500:])
+        assert accuracy > 0.85
+
+    def test_uses_poisson_six_by_default(self):
+        assert LeveragingBaggingClassifier().poisson_lambda == pytest.approx(6.0)
+
+    def test_member_reset_on_drift(self):
+        X, y = _abrupt_flip_stream(seed=5)
+        ensemble = LeveragingBaggingClassifier(n_estimators=3, random_state=5)
+        _stream_fit(ensemble, X, y, [0, 1], batch=100)
+        assert ensemble.n_member_resets >= 1
+
+    def test_recovers_from_drift(self):
+        X, y = _abrupt_flip_stream(seed=6)
+        ensemble = LeveragingBaggingClassifier(n_estimators=3, random_state=6)
+        _stream_fit(ensemble, X, y, [0, 1], batch=100)
+        accuracy = np.mean(ensemble.predict(X[-1000:]) == y[-1000:])
+        assert accuracy > 0.7
+
+
+class TestAdaptiveRandomForest:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            AdaptiveRandomForestClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            AdaptiveRandomForestClassifier(poisson_lambda=0.0)
+
+    def test_members_use_feature_subspaces(self):
+        X, y = make_multiclass_blobs(500, n_classes=2, n_features=9, seed=7)
+        forest = AdaptiveRandomForestClassifier(n_estimators=3, random_state=7)
+        forest.partial_fit(X, y, classes=[0, 1])
+        for member in forest.members_:
+            assert len(member.feature_indices) == 3  # round(sqrt(9))
+            assert len(np.unique(member.feature_indices)) == 3
+
+    def test_learns_blobs(self):
+        X, y = make_multiclass_blobs(6000, n_classes=3, n_features=6, seed=8)
+        forest = AdaptiveRandomForestClassifier(
+            n_estimators=3, base_estimator_factory=_fast_tree_factory, random_state=8
+        )
+        _stream_fit(forest, X, y, [0, 1, 2])
+        accuracy = np.mean(forest.predict(X[-500:]) == y[-500:])
+        assert accuracy > 0.75
+
+    def test_drift_triggers_member_replacement(self):
+        X, y = _abrupt_flip_stream(seed=9)
+        forest = AdaptiveRandomForestClassifier(n_estimators=3, random_state=9)
+        _stream_fit(forest, X, y, [0, 1], batch=100)
+        assert forest.n_drifts >= 1
+
+    def test_complexity_sums_member_trees(self):
+        X, y = make_multiclass_blobs(3000, n_classes=2, n_features=4, seed=10)
+        forest = _stream_fit(
+            AdaptiveRandomForestClassifier(n_estimators=3, random_state=10), X, y, [0, 1]
+        )
+        total = sum(m.tree.complexity().n_splits for m in forest.members_)
+        assert forest.complexity().n_splits == total
+
+    def test_max_features_is_capped(self):
+        X, y = make_multiclass_blobs(500, n_classes=2, n_features=4, seed=11)
+        forest = AdaptiveRandomForestClassifier(
+            n_estimators=2, max_features=10, random_state=11
+        )
+        forest.partial_fit(X, y, classes=[0, 1])
+        for member in forest.members_:
+            assert len(member.feature_indices) == 4

@@ -1,0 +1,145 @@
+"""Tests for the evaluation metrics and trace aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation.complexity import sliding_window_aggregate, summarize_trace
+from repro.evaluation.metrics import (
+    ConfusionMatrix,
+    accuracy_score,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+
+
+class TestConfusionMatrix:
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix(np.array([1]))
+
+    def test_update_accumulates(self):
+        matrix = ConfusionMatrix(np.array([0, 1]))
+        matrix.update(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        matrix.update(np.array([0]), np.array([1]))
+        assert matrix.total == 4
+        assert matrix.matrix[0, 0] == 1
+        assert matrix.matrix[1, 0] == 1
+        assert matrix.matrix[0, 1] == 1
+        assert matrix.matrix[1, 1] == 1
+
+    def test_unknown_label_raises(self):
+        matrix = ConfusionMatrix(np.array([0, 1]))
+        with pytest.raises(ValueError, match="Unknown"):
+            matrix.update(np.array([2]), np.array([0]))
+
+    def test_length_mismatch_raises(self):
+        matrix = ConfusionMatrix(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            matrix.update(np.array([0, 1]), np.array([0]))
+
+    def test_perfect_predictions(self):
+        matrix = ConfusionMatrix(np.array([0, 1, 2]))
+        y = np.array([0, 1, 2, 1, 0])
+        matrix.update(y, y)
+        assert matrix.accuracy() == 1.0
+        assert matrix.f1("macro") == 1.0
+        assert matrix.precision("weighted") == 1.0
+
+    def test_binary_average_targets_positive_class(self):
+        matrix = ConfusionMatrix(np.array([0, 1]))
+        matrix.update(np.array([1, 1, 0, 0]), np.array([1, 0, 0, 0]))
+        precision = matrix.precision("binary")
+        recall = matrix.recall("binary")
+        assert precision == pytest.approx(1.0)
+        assert recall == pytest.approx(0.5)
+        assert matrix.f1("binary") == pytest.approx(2 / 3)
+
+    def test_binary_average_requires_two_classes(self):
+        matrix = ConfusionMatrix(np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            matrix.f1("binary")
+
+    def test_invalid_average_raises(self):
+        matrix = ConfusionMatrix(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            matrix.f1("micro-ish")
+
+    def test_macro_ignores_absent_classes(self):
+        matrix = ConfusionMatrix(np.array([0, 1, 2]))
+        matrix.update(np.array([0, 0, 1]), np.array([0, 0, 1]))
+        # Class 2 never appears; macro averaging must not dilute the score.
+        assert matrix.f1("macro") == pytest.approx(1.0)
+
+
+class TestFunctionalMetrics:
+    def test_known_f1_value(self):
+        y_true = np.array([0, 0, 1, 1, 1, 0])
+        y_pred = np.array([0, 1, 1, 1, 0, 0])
+        # per class: class0 p=2/3 r=2/3 f1=2/3; class1 p=2/3 r=2/3 f1=2/3
+        assert f1_score(y_true, y_pred, average="macro") == pytest.approx(2 / 3)
+
+    def test_accuracy(self):
+        assert accuracy_score(np.array([0, 1, 1]), np.array([0, 0, 1])) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_precision_recall_consistency(self):
+        y_true = np.array([0, 1, 1, 1])
+        y_pred = np.array([1, 1, 1, 0])
+        precision = precision_score(y_true, y_pred, average="weighted")
+        recall = recall_score(y_true, y_pred, average="weighted")
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+
+    def test_single_class_input_is_padded(self):
+        # Degenerate batches with one observed class must not crash.
+        score = f1_score(np.array([1, 1]), np.array([1, 1]))
+        assert 0.0 <= score <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 60))
+    def test_f1_bounds_property(self, seed, n):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 3, size=n)
+        y_pred = rng.integers(0, 3, size=n)
+        score = f1_score(y_true, y_pred)
+        assert 0.0 <= score <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_perfect_prediction_property(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 4, size=50)
+        assert f1_score(y, y.copy()) == pytest.approx(1.0)
+        assert accuracy_score(y, y.copy()) == pytest.approx(1.0)
+
+
+class TestTraceAggregation:
+    def test_summarize_trace(self):
+        mean, std = summarize_trace([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1.0, 2.0, 3.0]))
+
+    def test_summarize_empty_trace(self):
+        assert summarize_trace([]) == (0.0, 0.0)
+
+    def test_sliding_window_matches_trailing_mean(self):
+        values = np.arange(10, dtype=float)
+        means, stds = sliding_window_aggregate(values, window=3)
+        assert means[0] == pytest.approx(0.0)
+        assert means[2] == pytest.approx(1.0)
+        assert means[-1] == pytest.approx(8.0)
+        assert stds[0] == pytest.approx(0.0)
+
+    def test_window_of_one_reproduces_trace(self):
+        values = np.array([3.0, 1.0, 4.0])
+        means, stds = sliding_window_aggregate(values, window=1)
+        np.testing.assert_allclose(means, values)
+        np.testing.assert_allclose(stds, 0.0)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            sliding_window_aggregate([1.0], window=0)

@@ -1,0 +1,147 @@
+"""Tests for the prequential (test-then-train) evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.base import ComplexityReport, StreamClassifier
+from repro.core.dmt import DynamicModelTree
+from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.streams.base import ArrayStream
+from repro.streams.synthetic import SEAGenerator
+
+
+class _CountingClassifier(StreamClassifier):
+    """Classifier stub recording how it is called by the evaluator."""
+
+    def __init__(self):
+        super().__init__()
+        self.fit_calls = 0
+        self.predict_calls = 0
+        self.samples_seen = 0
+
+    def partial_fit(self, X, y, classes=None):
+        X, y = self._validate_input(X, y)
+        self._update_classes(y, classes)
+        self.fit_calls += 1
+        self.samples_seen += len(y)
+        return self
+
+    def predict_proba(self, X):
+        X, _ = self._validate_input(X)
+        if self.classes_ is None:
+            raise RuntimeError("not fitted")
+        self.predict_calls += 1
+        proba = np.zeros((len(X), self.n_classes_))
+        proba[:, 0] = 1.0
+        return proba
+
+    def complexity(self):
+        return ComplexityReport(n_splits=1, n_parameters=2)
+
+    def reset(self):
+        return self
+
+
+def _binary_stream(n=1000, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 3))
+    y = (X[:, 0] > 0.5).astype(int)
+    return ArrayStream(X, y)
+
+
+class TestPrequentialEvaluator:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            PrequentialEvaluator(batch_fraction=0.0)
+        with pytest.raises(ValueError):
+            PrequentialEvaluator(warmup_batches=0)
+
+    def test_test_then_train_call_pattern(self):
+        """Every batch trains once; every batch except the warm-up is scored."""
+        stream = _binary_stream(n=1000)
+        model = _CountingClassifier()
+        evaluator = PrequentialEvaluator(batch_fraction=0.01)
+        result = evaluator.evaluate(model, stream)
+        assert model.fit_calls == 100
+        assert model.predict_calls == 99
+        assert result.n_iterations == 100
+        assert result.n_samples == 1000
+        assert len(result.f1_trace) == 99
+        assert len(result.n_splits_trace) == 100
+
+    def test_all_samples_are_used_once(self):
+        stream = _binary_stream(n=505)
+        model = _CountingClassifier()
+        PrequentialEvaluator(batch_fraction=0.01).evaluate(model, stream)
+        assert model.samples_seen == 505
+
+    def test_max_iterations_caps_run(self):
+        stream = _binary_stream(n=1000)
+        result = PrequentialEvaluator(batch_fraction=0.01).evaluate(
+            _CountingClassifier(), stream, max_iterations=10
+        )
+        assert result.n_iterations == 10
+
+    def test_explicit_batch_size(self):
+        stream = _binary_stream(n=200)
+        result = PrequentialEvaluator(batch_size=50).evaluate(
+            _CountingClassifier(), stream
+        )
+        assert result.n_iterations == 4
+
+    def test_result_names_default_to_types(self):
+        stream = _binary_stream(n=100)
+        result = PrequentialEvaluator(batch_size=50).evaluate(
+            _CountingClassifier(), stream
+        )
+        assert result.model_name == "_CountingClassifier"
+
+    def test_summary_contains_headline_fields(self):
+        stream = _binary_stream(n=300)
+        result = PrequentialEvaluator(batch_size=30).evaluate(
+            _CountingClassifier(), stream, model_name="stub", dataset_name="toy"
+        )
+        summary = result.summary()
+        for key in (
+            "model", "dataset", "f1_mean", "f1_std", "n_splits_mean",
+            "n_parameters_mean", "time_mean",
+        ):
+            assert key in summary
+        assert summary["model"] == "stub"
+        assert summary["n_splits_mean"] == pytest.approx(1.0)
+
+    def test_windowed_traces_have_iteration_length(self):
+        stream = _binary_stream(n=500)
+        result = PrequentialEvaluator(batch_size=25).evaluate(
+            _CountingClassifier(), stream
+        )
+        f1_mean, f1_std = result.windowed_f1(window=5)
+        assert len(f1_mean) == len(result.f1_trace)
+        log_mean, _ = result.windowed_log_splits(window=5)
+        assert len(log_mean) == len(result.n_splits_trace)
+
+    def test_dmt_on_sea_beats_constant_classifier(self):
+        stream = SEAGenerator(n_samples=4000, noise=0.1, seed=3)
+        dmt_result = PrequentialEvaluator(batch_fraction=0.01).evaluate(
+            DynamicModelTree(random_state=3), stream
+        )
+        stream_again = SEAGenerator(n_samples=4000, noise=0.1, seed=3)
+        constant_result = PrequentialEvaluator(batch_fraction=0.01).evaluate(
+            _CountingClassifier(), stream_again
+        )
+        assert dmt_result.f1_mean > constant_result.f1_mean
+
+    def test_overall_confusion_is_exposed(self):
+        stream = _binary_stream(n=400)
+        result = PrequentialEvaluator(batch_size=40).evaluate(
+            _CountingClassifier(), stream
+        )
+        assert result.overall_confusion.total == 360  # all but the warm-up batch
+
+
+class TestPrequentialResult:
+    def test_empty_result_summaries_are_zero(self):
+        result = PrequentialResult(model_name="m", dataset_name="d")
+        assert result.f1_mean == 0.0
+        assert result.n_splits_mean == 0.0
+        assert result.time_mean == 0.0

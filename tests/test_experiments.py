@@ -1,0 +1,161 @@
+"""Tests for the experiment registry, runner and table/figure builders."""
+
+import numpy as np
+import pytest
+
+from repro.base import StreamClassifier
+from repro.experiments.figures import (
+    figure3_series,
+    figure4_points,
+    render_figure4_text,
+)
+from repro.experiments.registry import (
+    DATASET_REGISTRY,
+    FIGURE3_DATASETS,
+    MODEL_REGISTRY,
+    STANDALONE_MODELS,
+    dataset_names,
+    make_dataset,
+    make_model,
+    model_names,
+)
+from repro.experiments.runner import ExperimentSuite, run_experiment
+from repro.experiments.tables import (
+    table1_datasets,
+    table2_f1,
+    table3_splits,
+    table4_parameters,
+    table5_time,
+    table6_summary,
+)
+
+
+class TestRegistry:
+    def test_all_13_datasets_registered(self):
+        assert len(DATASET_REGISTRY) == 13
+        assert set(FIGURE3_DATASETS) <= set(DATASET_REGISTRY)
+
+    def test_all_8_models_registered(self):
+        assert len(MODEL_REGISTRY) == 8
+        assert set(STANDALONE_MODELS) <= set(MODEL_REGISTRY)
+        assert MODEL_REGISTRY["dmt"].display_name == "DMT (ours)"
+
+    def test_dataset_metadata_matches_table1(self):
+        spec = DATASET_REGISTRY["hyperplane"]
+        assert spec.n_features == 50 and spec.n_classes == 2
+        assert DATASET_REGISTRY["sea"].n_samples == 1_000_000
+        assert DATASET_REGISTRY["kdd"].n_classes == 23
+
+    def test_model_names_filtering(self):
+        assert len(model_names(include_ensembles=False)) == 6
+        assert "arf" in model_names(include_ensembles=True)
+
+    def test_make_dataset_and_model(self):
+        stream = make_dataset("sea", scale=0.002, seed=0)
+        model = make_model("dmt", seed=0)
+        assert stream.n_features == 3
+        assert isinstance(model, StreamClassifier)
+
+    def test_unknown_keys_raise(self):
+        with pytest.raises(KeyError):
+            make_dataset("nope")
+        with pytest.raises(KeyError):
+            make_model("nope")
+
+    def test_every_dataset_factory_produces_a_stream(self):
+        for name in dataset_names():
+            stream = make_dataset(name, scale=0.002, seed=1)
+            X, y = stream.next_sample(50)
+            assert X.shape[1] == DATASET_REGISTRY[name].n_features
+            assert y.max() < DATASET_REGISTRY[name].n_classes
+
+    def test_every_model_factory_produces_a_classifier(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(60, 4))
+        y = rng.integers(0, 2, size=60)
+        for name in model_names():
+            model = make_model(name, seed=2)
+            model.partial_fit(X, y, classes=[0, 1])
+            assert model.predict(X[:5]).shape == (5,)
+
+
+class TestRunnerAndTables:
+    @pytest.fixture(scope="class")
+    def small_suite(self):
+        suite = ExperimentSuite(
+            model_names=("dmt", "vfdt_mc"),
+            dataset_names=("sea", "electricity"),
+            scale=0.003,
+            seed=7,
+            batch_fraction=0.01,
+        )
+        suite.run()
+        return suite
+
+    def test_run_experiment_returns_result(self):
+        result = run_experiment(
+            "vfdt_mc", "sea", scale=0.002, seed=0, batch_fraction=0.02
+        )
+        assert result.n_iterations > 0
+        assert 0.0 <= result.f1_mean <= 1.0
+
+    def test_suite_caches_results(self, small_suite):
+        assert len(small_suite.results) == 4
+        first = small_suite.get("dmt", "sea")
+        again = small_suite.get("dmt", "sea")
+        assert first is again
+
+    def test_suite_summaries(self, small_suite):
+        summaries = small_suite.summaries()
+        assert len(summaries) == 4
+        assert {"model", "dataset", "f1_mean"} <= set(summaries[0])
+
+    def test_table1(self):
+        records, text = table1_datasets()
+        assert len(records) == 13
+        assert "Electricity" in text and "Hyperplane" in text
+
+    def test_table2_f1(self, small_suite):
+        records, text = table2_f1(small_suite)
+        assert len(records) == 2
+        assert all(0.0 <= record["mean"] <= 1.0 for record in records)
+        assert "Table II" in text
+
+    def test_table3_splits(self, small_suite):
+        records, text = table3_splits(small_suite)
+        assert all(record["mean"] >= 0 for record in records)
+        assert "Splits" in text
+
+    def test_table4_parameters(self, small_suite):
+        records, text = table4_parameters(small_suite)
+        assert all(record["mean"] >= 0 for record in records)
+        assert "Parameters" in text
+
+    def test_table5_time(self, small_suite):
+        records, text = table5_time(small_suite)
+        assert all(record["time_mean"] >= 0 for record in records)
+        assert "Time" in text
+
+    def test_table6_summary(self, small_suite):
+        records, text = table6_summary(small_suite)
+        assert len(records) == 2
+        symbols = {record["Overall Pred. Performance"] for record in records}
+        assert symbols <= {"++", "+", "-", "--"}
+        assert "Table VI" in text
+
+    def test_figure3_series(self, small_suite):
+        series = figure3_series(small_suite, datasets=("sea",), window=5)
+        assert "sea" in series
+        assert "dmt" in series["sea"]
+        entry = series["sea"]["dmt"]
+        assert len(entry["f1_mean"]) > 0
+        assert len(entry["log_splits_mean"]) > 0
+
+    def test_figure4_points_and_rendering(self, small_suite):
+        points = figure4_points(small_suite)
+        assert len(points) == 4
+        text = render_figure4_text(points)
+        assert "Figure 4" in text
+
+    def test_render_figure4_empty(self):
+        assert render_figure4_text([]) == "(no points)"

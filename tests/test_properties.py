@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests (hypothesis) on the core invariants.
+
+These complement the per-module tests by checking the paper's theoretical
+properties and the main data-structure invariants under randomly generated
+inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dmt import DynamicModelTree
+from repro.core.gains import aic_prune_threshold, aic_split_threshold
+from repro.drift.adwin import ADWIN
+from repro.evaluation.metrics import ConfusionMatrix
+from repro.linear.glm import IncrementalGLM
+from repro.streams.realworld import SurrogateStream
+from repro.trees.vfdt import HoeffdingTreeClassifier
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), n_features=st.integers(1, 6))
+def test_glm_proba_rows_always_sum_to_one(seed, n_features):
+    rng = np.random.default_rng(seed)
+    model = IncrementalGLM(n_features=n_features, n_classes=int(rng.integers(2, 5)), rng=seed)
+    X = rng.normal(size=(20, n_features)) * rng.uniform(0.1, 10.0)
+    proba = model.predict_proba(X)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(proba >= 0.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_glm_training_never_produces_nan(seed):
+    rng = np.random.default_rng(seed)
+    model = IncrementalGLM(n_features=3, n_classes=3, learning_rate=0.1, rng=seed)
+    for _ in range(10):
+        X = rng.normal(size=(8, 3)) * 5.0
+        y = rng.integers(0, 3, size=8)
+        model.fit_incremental(X, y)
+    assert np.all(np.isfinite(model.weights))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_dmt_consistency_split_threshold_positive(seed):
+    """Property 1 (consistency): because every structural change requires a
+    gain above the AIC threshold -- which is strictly positive for eps < 1 --
+    a split can never increase the estimated loss of the tree."""
+    rng = np.random.default_rng(seed)
+    epsilon = float(rng.uniform(1e-10, 0.99))
+    k = int(rng.integers(1, 500))
+    assert aic_split_threshold(k, k, k, epsilon) > 0.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(n_leaves=st.integers(2, 20), k=st.integers(1, 50))
+def test_dmt_minimality_prune_threshold_below_split_threshold(n_leaves, k):
+    """Property 2 (minimality): collapsing a subtree with many leaf
+    parameters into one leaf requires less gain than adding new parameters,
+    so simpler models are systematically preferred at equal loss."""
+    epsilon = 1e-8
+    prune = aic_prune_threshold(k, n_leaves * k, epsilon)
+    split = aic_split_threshold(k, k, k, epsilon)
+    assert prune < split
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_dmt_prediction_invariants_on_random_streams(seed):
+    rng = np.random.default_rng(seed)
+    n_classes = int(rng.integers(2, 4))
+    X = rng.uniform(size=(300, 3))
+    y = rng.integers(0, n_classes, size=300)
+    model = DynamicModelTree(random_state=seed)
+    for start in range(0, 300, 60):
+        model.partial_fit(
+            X[start : start + 60], y[start : start + 60], classes=list(range(n_classes))
+        )
+    proba = model.predict_proba(X[:50])
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    predictions = model.predict(X[:50])
+    assert set(predictions.tolist()) <= set(range(n_classes))
+    report = model.complexity()
+    assert report.n_splits >= 0 and report.n_parameters >= 0
+    assert report.n_leaves == report.n_nodes - (report.n_nodes - report.n_leaves)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_hoeffding_tree_node_accounting_invariant(seed):
+    """In a binary tree grown by splitting leaves, #leaves = #inner + 1."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(2000, 3))
+    y = (X[:, 0] > rng.uniform(0.3, 0.7)).astype(int)
+    model = HoeffdingTreeClassifier(grace_period=100, split_confidence=1e-3)
+    for start in range(0, 2000, 200):
+        model.partial_fit(X[start : start + 200], y[start : start + 200], classes=[0, 1])
+    n_inner = model.n_nodes - model.n_leaves
+    assert model.n_leaves == n_inner + 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), probability=st.floats(0.05, 0.95))
+def test_adwin_mean_stays_in_unit_interval(seed, probability):
+    rng = np.random.default_rng(seed)
+    detector = ADWIN()
+    for value in rng.binomial(1, probability, size=400):
+        detector.update(float(value))
+        assert 0.0 <= detector.mean <= 1.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_confusion_matrix_total_equals_updates(seed):
+    rng = np.random.default_rng(seed)
+    matrix = ConfusionMatrix(np.arange(4))
+    total = 0
+    for _ in range(5):
+        n = int(rng.integers(1, 30))
+        matrix.update(rng.integers(0, 4, size=n), rng.integers(0, 4, size=n))
+        total += n
+    assert matrix.total == total
+    assert 0.0 <= matrix.f1("macro") <= 1.0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_surrogate_streams_stay_in_unit_cube(seed):
+    stream = SurrogateStream(
+        n_samples=200, n_features=5, n_classes=3,
+        drift="incremental", n_drift_events=2, seed=seed,
+    )
+    X, y = stream.next_sample(200)
+    assert np.all((X >= 0.0) & (X <= 1.0))
+    assert np.all((y >= 0) & (y < 3))
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_dmt_same_data_same_tree(seed):
+    """Determinism: identical data and seed produce identical trees."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(400, 2))
+    y = (X[:, 0] + X[:, 1] > 1.0).astype(int)
+
+    def build():
+        model = DynamicModelTree(random_state=seed)
+        for start in range(0, 400, 50):
+            model.partial_fit(X[start : start + 50], y[start : start + 50], classes=[0, 1])
+        return model
+
+    first, second = build(), build()
+    assert first.n_nodes == second.n_nodes
+    np.testing.assert_allclose(
+        first.root.model.weights, second.root.model.weights
+    )

@@ -1,0 +1,168 @@
+"""Tests for the stream base API and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.streams.base import ArrayStream, prequential_batches
+from repro.streams.preprocessing import (
+    NormalizedStream,
+    OnlineMinMaxScaler,
+    factorize_columns,
+)
+from repro.streams.synthetic import SEAGenerator
+
+
+class TestArrayStream:
+    def _stream(self, n=100, m=3):
+        rng = np.random.default_rng(0)
+        return ArrayStream(rng.uniform(size=(n, m)), rng.integers(0, 2, size=n))
+
+    def test_metadata(self):
+        stream = self._stream()
+        assert stream.n_samples == 100
+        assert stream.n_features == 3
+        assert stream.n_classes == 2
+        assert stream.has_more_samples()
+
+    def test_rejects_inconsistent_lengths(self):
+        with pytest.raises(ValueError):
+            ArrayStream(np.zeros((5, 2)), np.zeros(4))
+
+    def test_next_sample_advances_position(self):
+        stream = self._stream()
+        X, y = stream.next_sample(10)
+        assert X.shape == (10, 3)
+        assert stream.position == 10
+        assert stream.n_remaining_samples() == 90
+
+    def test_last_batch_is_truncated(self):
+        stream = self._stream(n=25)
+        stream.next_sample(20)
+        X, y = stream.next_sample(20)
+        assert len(X) == 5
+        assert not stream.has_more_samples()
+
+    def test_exhausted_stream_raises(self):
+        stream = self._stream(n=5)
+        stream.next_sample(5)
+        with pytest.raises(StopIteration):
+            stream.next_sample(1)
+
+    def test_restart_rewinds(self):
+        stream = self._stream()
+        first, _ = stream.next_sample(10)
+        stream.restart()
+        again, _ = stream.next_sample(10)
+        np.testing.assert_allclose(first, again)
+
+    def test_take_materialises_remaining(self):
+        stream = self._stream(n=30)
+        stream.next_sample(10)
+        X, y = stream.take()
+        assert len(X) == 20
+        assert not stream.has_more_samples()
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            self._stream().next_sample(0)
+
+
+class TestPrequentialBatches:
+    def test_batch_fraction_sets_size(self):
+        stream = self._make_stream(1000)
+        batches = list(prequential_batches(stream, batch_fraction=0.01))
+        assert len(batches) == 100
+        assert all(len(X) == 10 for X, _ in batches)
+
+    def test_explicit_batch_size_overrides(self):
+        stream = self._make_stream(105)
+        batches = list(prequential_batches(stream, batch_size=50))
+        assert [len(X) for X, _ in batches] == [50, 50, 5]
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            list(prequential_batches(self._make_stream(10), batch_fraction=0.0))
+
+    def test_covers_whole_stream(self):
+        stream = self._make_stream(333)
+        total = sum(len(X) for X, _ in prequential_batches(stream, batch_size=32))
+        assert total == 333
+
+    @staticmethod
+    def _make_stream(n):
+        rng = np.random.default_rng(1)
+        return ArrayStream(rng.uniform(size=(n, 2)), rng.integers(0, 2, size=n))
+
+
+class TestOnlineMinMaxScaler:
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            OnlineMinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_scales_to_unit_interval(self):
+        scaler = OnlineMinMaxScaler()
+        X = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaled = scaler.partial_fit_transform(X)
+        assert scaled.min() == pytest.approx(0.0)
+        assert scaled.max() == pytest.approx(1.0)
+
+    def test_running_bounds_are_monotone(self):
+        scaler = OnlineMinMaxScaler()
+        scaler.partial_fit(np.array([[0.0], [1.0]]))
+        scaler.partial_fit(np.array([[-5.0], [10.0]]))
+        scaled = scaler.transform(np.array([[-5.0], [10.0]]))
+        assert scaled[0, 0] == pytest.approx(0.0)
+        assert scaled[1, 0] == pytest.approx(1.0)
+
+    def test_clip_bounds_unseen_extremes(self):
+        scaler = OnlineMinMaxScaler(clip=True)
+        scaler.partial_fit(np.array([[0.0], [1.0]]))
+        scaled = scaler.transform(np.array([[5.0]]))
+        assert scaled[0, 0] == pytest.approx(1.0)
+
+    def test_constant_feature_does_not_divide_by_zero(self):
+        scaler = OnlineMinMaxScaler()
+        scaled = scaler.partial_fit_transform(np.full((3, 2), 7.0))
+        assert np.all(np.isfinite(scaled))
+
+
+class TestNormalizedStream:
+    def test_wraps_stream_and_scales(self):
+        stream = NormalizedStream(SEAGenerator(n_samples=500, seed=0))
+        X, y = stream.next_sample(100)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+        assert stream.n_features == 3
+        assert stream.n_classes == 2
+        assert stream.position == 100
+
+    def test_restart_resets_scaler_and_position(self):
+        stream = NormalizedStream(SEAGenerator(n_samples=500, seed=0))
+        stream.next_sample(200)
+        stream.restart()
+        assert stream.position == 0
+        assert stream.has_more_samples()
+
+    def test_take_materialises(self):
+        stream = NormalizedStream(SEAGenerator(n_samples=300, seed=0))
+        X, y = stream.take()
+        assert len(X) == 300
+
+
+class TestFactorize:
+    def test_factorises_string_columns(self):
+        X = np.array([["a", 1.0], ["b", 2.0], ["a", 3.0]], dtype=object)
+        encoded, mappings = factorize_columns(X)
+        assert encoded.dtype == float
+        assert encoded[0, 0] == encoded[2, 0]
+        assert encoded[0, 0] != encoded[1, 0]
+        assert 0 in mappings
+
+    def test_explicit_columns(self):
+        X = np.array([[3.0, 10.0], [5.0, 20.0]])
+        encoded, mappings = factorize_columns(X, columns=[0])
+        assert set(np.unique(encoded[:, 0])) == {0.0, 1.0}
+        np.testing.assert_allclose(encoded[:, 1], [10.0, 20.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            factorize_columns(np.array([1.0, 2.0]))

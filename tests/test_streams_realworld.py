@@ -1,0 +1,146 @@
+"""Tests for the real-world surrogate streams."""
+
+import numpy as np
+import pytest
+
+from repro.streams.realworld import (
+    REAL_WORLD_SPECS,
+    SurrogateStream,
+    make_surrogate,
+)
+
+
+class TestSpecs:
+    def test_all_ten_datasets_are_registered(self):
+        expected = {
+            "electricity", "airlines", "bank", "tueyeq", "poker",
+            "kdd", "covertype", "gas", "insects_abrupt", "insects_incremental",
+        }
+        assert set(REAL_WORLD_SPECS) == expected
+
+    def test_spec_shapes_match_table1(self):
+        spec = REAL_WORLD_SPECS["electricity"]
+        assert spec.n_samples == 45_312
+        assert spec.n_features == 8
+        assert spec.n_classes == 2
+        gas = REAL_WORLD_SPECS["gas"]
+        assert gas.n_features == 128 and gas.n_classes == 6
+        kdd = REAL_WORLD_SPECS["kdd"]
+        assert kdd.n_classes == 23
+
+    def test_majority_fractions_match_table1(self):
+        assert REAL_WORLD_SPECS["bank"].majority_fraction == pytest.approx(
+            39_922 / 45_211
+        )
+        assert REAL_WORLD_SPECS["poker"].majority_fraction == pytest.approx(
+            513_701 / 1_025_000
+        )
+
+
+class TestSurrogateStream:
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(ValueError):
+            SurrogateStream(100, 3, 2, drift="sideways")
+        with pytest.raises(ValueError):
+            SurrogateStream(100, 3, 2, class_weights=np.array([0.5, 0.4]))
+        with pytest.raises(ValueError):
+            SurrogateStream(100, 3, 2, class_weights=np.array([0.5, 0.5, 0.0]))
+        with pytest.raises(ValueError):
+            SurrogateStream(100, 3, 2, noise_std=0.0)
+
+    def test_output_shapes_and_range(self):
+        stream = SurrogateStream(500, n_features=6, n_classes=3, seed=0)
+        X, y = stream.next_sample(500)
+        assert X.shape == (500, 6)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_class_weights_are_respected(self):
+        weights = np.array([0.8, 0.2])
+        stream = SurrogateStream(
+            4000, n_features=4, n_classes=2, class_weights=weights, seed=1
+        )
+        _, y = stream.next_sample(4000)
+        assert np.mean(y == 0) == pytest.approx(0.8, abs=0.03)
+
+    def test_abrupt_drift_changes_prototypes(self):
+        stream = SurrogateStream(
+            1000, n_features=5, n_classes=2, drift="abrupt", n_drift_events=1, seed=2
+        )
+        early = stream.prototype_at(0)
+        late = stream.prototype_at(999)
+        assert not np.allclose(early, late)
+
+    def test_incremental_drift_is_gradual(self):
+        stream = SurrogateStream(
+            1000, n_features=5, n_classes=2, drift="incremental",
+            n_drift_events=1, seed=3,
+        )
+        start = stream.prototype_at(0)
+        middle = stream.prototype_at(500)
+        end = stream.prototype_at(999)
+        drift_total = np.abs(end - start).sum()
+        drift_half = np.abs(middle - start).sum()
+        assert 0 < drift_half < drift_total
+
+    def test_cyclic_drift_returns_to_start(self):
+        stream = SurrogateStream(
+            1000, n_features=5, n_classes=2, drift="cyclic", n_drift_events=2, seed=4
+        )
+        start = stream.prototype_at(0)
+        full_cycle = stream.prototype_at(500)
+        np.testing.assert_allclose(start, full_cycle, atol=1e-6)
+
+    def test_no_drift_keeps_prototypes_fixed(self):
+        stream = SurrogateStream(1000, n_features=5, n_classes=2, drift="none", seed=5)
+        np.testing.assert_allclose(stream.prototype_at(0), stream.prototype_at(999))
+
+    def test_restart_reproduces(self):
+        stream = SurrogateStream(300, n_features=4, n_classes=3, seed=6)
+        X1, y1 = stream.next_sample(300)
+        stream.restart()
+        X2, y2 = stream.next_sample(300)
+        np.testing.assert_allclose(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_surrogate_is_learnable(self):
+        """The surrogate must carry enough signal that a trivial nearest-
+        prototype rule beats the majority baseline -- otherwise the
+        comparative evaluation would be meaningless."""
+        stream = SurrogateStream(
+            3000, n_features=10, n_classes=3, noise_std=0.15, seed=7
+        )
+        X, y = stream.next_sample(3000)
+        prototypes = stream.prototype_at(0)
+        distances = np.linalg.norm(X[:, None, :] - prototypes[None, :, :], axis=2)
+        predictions = np.argmin(distances, axis=1)
+        accuracy = np.mean(predictions == y)
+        majority = max(np.bincount(y) / len(y))
+        assert accuracy > majority + 0.1
+
+
+class TestMakeSurrogate:
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_surrogate("does-not-exist")
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            make_surrogate("electricity", scale=0.0)
+
+    def test_scale_reduces_length(self):
+        stream = make_surrogate("electricity", scale=0.01, seed=0)
+        assert stream.n_samples == max(int(round(45_312 * 0.01)), 500)
+        assert stream.n_features == 8
+
+    def test_minimum_length_is_enforced(self):
+        stream = make_surrogate("gas", scale=0.001, seed=0)
+        assert stream.n_samples >= 500
+
+    @pytest.mark.parametrize("name", sorted(REAL_WORLD_SPECS))
+    def test_every_surrogate_generates(self, name):
+        stream = make_surrogate(name, scale=0.01, seed=1)
+        X, y = stream.next_sample(200)
+        spec = REAL_WORLD_SPECS[name]
+        assert X.shape == (200, spec.n_features)
+        assert y.max() < spec.n_classes

@@ -1,0 +1,254 @@
+"""Tests for the synthetic stream generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams.synthetic import (
+    AgrawalGenerator,
+    ConceptDriftStream,
+    HyperplaneGenerator,
+    LEDGenerator,
+    MixedGenerator,
+    RandomRBFGenerator,
+    SEAGenerator,
+    SineGenerator,
+    STAGGERGenerator,
+    WaveformGenerator,
+)
+from repro.streams.synthetic.agrawal import _classify
+
+
+class TestSEA:
+    def test_shapes_and_ranges(self):
+        stream = SEAGenerator(n_samples=1000, noise=0.0, seed=0)
+        X, y = stream.next_sample(500)
+        assert X.shape == (500, 3)
+        assert X.min() >= 0.0 and X.max() <= 10.0
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_noise_free_labels_match_concept(self):
+        stream = SEAGenerator(n_samples=1000, noise=0.0, seed=1)
+        X, y = stream.next_sample(1000)
+        thresholds = np.array([stream.threshold_at(i) for i in range(1000)])
+        np.testing.assert_array_equal(y, (X[:, 0] + X[:, 1] <= thresholds).astype(int))
+
+    def test_concept_changes_at_drift_positions(self):
+        stream = SEAGenerator(n_samples=1000, drift_positions=(0.5,), seed=0)
+        assert stream.concept_at(0) == 0
+        assert stream.concept_at(499) == 0
+        assert stream.concept_at(500) == 1
+
+    def test_noise_flips_labels(self):
+        clean = SEAGenerator(n_samples=2000, noise=0.0, seed=3)
+        noisy = SEAGenerator(n_samples=2000, noise=0.3, seed=3)
+        _, y_clean = clean.next_sample(2000)
+        _, y_noisy = noisy.next_sample(2000)
+        assert np.mean(y_clean != y_noisy) > 0.1
+
+    def test_restart_reproduces_sequence(self):
+        stream = SEAGenerator(n_samples=500, seed=5)
+        X1, y1 = stream.next_sample(200)
+        stream.restart()
+        X2, y2 = stream.next_sample(200)
+        np.testing.assert_allclose(X1, X2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_invalid_noise_raises(self):
+        with pytest.raises(ValueError):
+            SEAGenerator(noise=1.5)
+
+
+class TestAgrawal:
+    def test_shapes_and_classes(self):
+        stream = AgrawalGenerator(n_samples=500, seed=0)
+        X, y = stream.next_sample(500)
+        assert X.shape == (500, 9)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_feature_ranges(self):
+        stream = AgrawalGenerator(n_samples=1000, perturbation=0.0, seed=1)
+        X, _ = stream.next_sample(1000)
+        salary, commission, age = X[:, 0], X[:, 1], X[:, 2]
+        assert salary.min() >= 20_000 and salary.max() <= 150_000
+        assert age.min() >= 20 and age.max() <= 80
+        assert np.all((commission == 0) | (commission >= 10_000))
+
+    def test_all_ten_functions_are_valid(self):
+        record = np.array([80_000, 0, 45, 2, 5, 4, 300_000, 10, 100_000], dtype=float)
+        labels = [_classify(fid, record) for fid in range(10)]
+        assert all(label in (0, 1) for label in labels)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ValueError):
+            _classify(10, np.zeros(9))
+
+    def test_drift_windows_blend_functions(self):
+        stream = AgrawalGenerator(
+            n_samples=1000, drift_windows=((0.4, 0.6),), seed=2
+        )
+        current, upcoming, blend = stream.active_functions(500)
+        assert upcoming == (current + 1) % 10
+        assert 0.0 < blend < 1.0
+        current_after, _, blend_after = stream.active_functions(700)
+        assert blend_after == 0.0
+        assert current_after == 1
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            AgrawalGenerator(drift_windows=((0.6, 0.4),))
+
+
+class TestHyperplane:
+    def test_shapes_and_noise(self):
+        stream = HyperplaneGenerator(n_samples=500, n_features=10, seed=0)
+        X, y = stream.next_sample(500)
+        assert X.shape == (500, 10)
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_weights_drift_over_time(self):
+        stream = HyperplaneGenerator(
+            n_samples=5000, n_features=5, n_drift_features=5,
+            magnitude=0.01, noise=0.0, seed=1,
+        )
+        before = stream.weights
+        stream.next_sample(3000)
+        after = stream.weights
+        assert not np.allclose(before, after)
+
+    def test_no_drift_when_magnitude_zero(self):
+        stream = HyperplaneGenerator(
+            n_samples=2000, n_features=5, magnitude=0.0, seed=2
+        )
+        before = stream.weights
+        stream.next_sample(1000)
+        np.testing.assert_allclose(before, stream.weights)
+
+    def test_noise_free_labels_are_balanced(self):
+        stream = HyperplaneGenerator(
+            n_samples=4000, n_features=8, noise=0.0, magnitude=0.0, seed=3
+        )
+        _, y = stream.next_sample(4000)
+        assert 0.3 < y.mean() < 0.7
+
+    def test_invalid_drift_features_raise(self):
+        with pytest.raises(ValueError):
+            HyperplaneGenerator(n_features=5, n_drift_features=6)
+
+
+class TestOtherGenerators:
+    def test_random_rbf_shapes(self):
+        stream = RandomRBFGenerator(
+            n_samples=300, n_features=6, n_classes=3, n_centroids=10, seed=0
+        )
+        X, y = stream.next_sample(300)
+        assert X.shape == (300, 6)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_random_rbf_drift_moves_centroids(self):
+        stream = RandomRBFGenerator(
+            n_samples=2000, n_features=4, drift_speed=0.01, seed=1
+        )
+        before = stream._centres.copy()
+        stream.next_sample(500)
+        assert not np.allclose(before, stream._centres)
+
+    def test_stagger_concepts(self):
+        stream = STAGGERGenerator(n_samples=100, classification_function=0, seed=0)
+        X, y = stream.next_sample(100)
+        expected = ((X[:, 0] == 0) & (X[:, 1] == 0)).astype(int)
+        np.testing.assert_array_equal(y, expected)
+
+    def test_stagger_drift_changes_concept(self):
+        stream = STAGGERGenerator(
+            n_samples=100, classification_function=0, drift_positions=(0.5,), seed=0
+        )
+        assert stream.concept_at(10) == 0
+        assert stream.concept_at(60) == 1
+
+    def test_sine_concepts_and_reversal(self):
+        stream = SineGenerator(n_samples=200, classification_function=0, seed=0)
+        X, y = stream.next_sample(200)
+        expected = (X[:, 1] <= np.sin(X[:, 0])).astype(int)
+        np.testing.assert_array_equal(y, expected)
+        reversed_stream = SineGenerator(
+            n_samples=200, classification_function=1, seed=0
+        )
+        X_r, y_r = reversed_stream.next_sample(200)
+        np.testing.assert_array_equal(y_r, 1 - (X_r[:, 1] <= np.sin(X_r[:, 0])).astype(int))
+
+    def test_mixed_generator_label_rule(self):
+        stream = MixedGenerator(n_samples=300, seed=0)
+        X, y = stream.next_sample(300)
+        conditions = (
+            (X[:, 0] == 1).astype(int)
+            + (X[:, 1] == 1).astype(int)
+            + (X[:, 3] < 0.5 + 0.3 * np.sin(3 * np.pi * X[:, 2])).astype(int)
+        )
+        np.testing.assert_array_equal(y, (conditions >= 2).astype(int))
+
+    def test_led_shapes_and_noise_free_decoding(self):
+        stream = LEDGenerator(n_samples=200, noise=0.0, n_irrelevant=0, seed=0)
+        X, y = stream.next_sample(200)
+        assert X.shape == (200, 7)
+        assert set(np.unique(y)) <= set(range(10))
+
+    def test_led_with_irrelevant_attributes(self):
+        stream = LEDGenerator(n_samples=100, n_irrelevant=17, seed=1)
+        X, _ = stream.next_sample(100)
+        assert X.shape == (100, 24)
+
+    def test_waveform_shapes(self):
+        stream = WaveformGenerator(n_samples=200, seed=0)
+        X, y = stream.next_sample(200)
+        assert X.shape == (200, 21)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+
+class TestConceptDriftStream:
+    def test_blends_two_streams(self):
+        base = SEAGenerator(n_samples=2000, noise=0.0, drift_positions=(), seed=0)
+        drift = SEAGenerator(
+            n_samples=2000, noise=0.0, drift_positions=(), seed=1
+        )
+        combined = ConceptDriftStream(base, drift, position=1000, width=1, seed=0)
+        X, y = combined.next_sample(2000)
+        assert X.shape == (2000, 3)
+
+    def test_drift_probability_is_sigmoid(self):
+        base = SEAGenerator(n_samples=1000, seed=0)
+        drift = SEAGenerator(n_samples=1000, seed=1)
+        combined = ConceptDriftStream(base, drift, position=500, width=100, seed=0)
+        assert combined.drift_probability(0) < 0.01
+        assert combined.drift_probability(500) == pytest.approx(0.5)
+        assert combined.drift_probability(999) > 0.99
+
+    def test_incompatible_streams_raise(self):
+        base = SEAGenerator(n_samples=100, seed=0)
+        other = HyperplaneGenerator(n_samples=100, n_features=5, seed=0)
+        with pytest.raises(ValueError):
+            ConceptDriftStream(base, other, position=50)
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), batch=st.integers(1, 200))
+    def test_sea_batching_is_consistent_property(self, seed, batch):
+        """Drawing the stream in different batch sizes yields valid output of
+        the requested length and never exceeds the stream length."""
+        stream = SEAGenerator(n_samples=400, seed=seed)
+        total = 0
+        while stream.has_more_samples():
+            X, y = stream.next_sample(batch)
+            assert len(X) == len(y) <= batch
+            total += len(X)
+        assert total == 400
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_generators_are_deterministic_per_seed_property(self, seed):
+        first = AgrawalGenerator(n_samples=100, seed=seed).next_sample(100)
+        second = AgrawalGenerator(n_samples=100, seed=seed).next_sample(100)
+        np.testing.assert_allclose(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])

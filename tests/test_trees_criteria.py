@@ -1,0 +1,113 @@
+"""Tests for the split criteria (information gain, Gini, SDR)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees.criteria import (
+    GiniCriterion,
+    InfoGainCriterion,
+    VarianceReductionCriterion,
+    _entropy,
+    _gini,
+)
+
+
+class TestEntropyAndGini:
+    def test_entropy_of_pure_distribution_is_zero(self):
+        assert _entropy(np.array([10.0, 0.0])) == pytest.approx(0.0)
+
+    def test_entropy_of_uniform_binary_is_one_bit(self):
+        assert _entropy(np.array([5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_entropy_of_empty_distribution_is_zero(self):
+        assert _entropy(np.zeros(3)) == 0.0
+
+    def test_gini_of_pure_distribution_is_zero(self):
+        assert _gini(np.array([7.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_gini_of_uniform_binary_is_half(self):
+        assert _gini(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+
+class TestInfoGain:
+    def test_perfect_split_gains_full_entropy(self):
+        criterion = InfoGainCriterion()
+        pre = np.array([10.0, 10.0])
+        post = [np.array([10.0, 0.0]), np.array([0.0, 10.0])]
+        assert criterion.merit(pre, post) == pytest.approx(1.0)
+
+    def test_useless_split_has_zero_gain(self):
+        criterion = InfoGainCriterion()
+        pre = np.array([10.0, 10.0])
+        post = [np.array([5.0, 5.0]), np.array([5.0, 5.0])]
+        assert criterion.merit(pre, post) == pytest.approx(0.0)
+
+    def test_starved_branch_is_rejected(self):
+        criterion = InfoGainCriterion(min_branch_fraction=0.1)
+        pre = np.array([100.0, 100.0])
+        post = [np.array([1.0, 0.0]), np.array([99.0, 100.0])]
+        assert criterion.merit(pre, post) == -np.inf
+
+    def test_merit_range_uses_observed_classes(self):
+        criterion = InfoGainCriterion()
+        assert criterion.merit_range(np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert criterion.merit_range(np.array([1.0, 1.0, 1.0, 1.0])) == pytest.approx(2.0)
+
+    def test_invalid_min_branch_fraction(self):
+        with pytest.raises(ValueError):
+            InfoGainCriterion(min_branch_fraction=0.6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_gain_is_bounded_by_parent_entropy_property(self, seed):
+        rng = np.random.default_rng(seed)
+        pre = rng.integers(1, 50, size=3).astype(float)
+        left = np.array([rng.integers(0, int(c) + 1) for c in pre], dtype=float)
+        right = pre - left
+        criterion = InfoGainCriterion(min_branch_fraction=0.0)
+        merit = criterion.merit(pre, [left, right])
+        if np.isfinite(merit):
+            assert merit <= _entropy(pre) + 1e-9
+            assert merit >= -1e-9
+
+
+class TestGini:
+    def test_perfect_split_has_positive_merit(self):
+        criterion = GiniCriterion()
+        pre = np.array([10.0, 10.0])
+        post = [np.array([10.0, 0.0]), np.array([0.0, 10.0])]
+        assert criterion.merit(pre, post) == pytest.approx(0.5)
+
+    def test_empty_branch_rejected(self):
+        criterion = GiniCriterion()
+        pre = np.array([10.0, 10.0])
+        post = [np.array([0.0, 0.0]), pre]
+        assert criterion.merit(pre, post) == -np.inf
+
+    def test_merit_range_is_one(self):
+        assert GiniCriterion().merit_range(np.array([3.0, 3.0])) == 1.0
+
+
+class TestVarianceReduction:
+    def test_std_of_constant_target_is_zero(self):
+        criterion = VarianceReductionCriterion()
+        stats = (10.0, 50.0, 250.0)  # all values equal to 5
+        assert criterion.std(stats) == pytest.approx(0.0)
+
+    def test_perfect_split_removes_all_variance(self):
+        criterion = VarianceReductionCriterion()
+        # Parent: five 0s and five 1s -> std 0.5; children pure.
+        pre = (10.0, 5.0, 5.0)
+        post = [(5.0, 0.0, 0.0), (5.0, 5.0, 5.0)]
+        assert criterion.merit(pre, post) == pytest.approx(0.5)
+
+    def test_single_branch_split_rejected(self):
+        criterion = VarianceReductionCriterion()
+        pre = (10.0, 5.0, 5.0)
+        post = [(10.0, 5.0, 5.0), (0.0, 0.0, 0.0)]
+        assert criterion.merit(pre, post) == -np.inf
+
+    def test_merit_range_is_one(self):
+        assert VarianceReductionCriterion().merit_range((10.0, 5.0, 5.0)) == 1.0

@@ -1,0 +1,158 @@
+"""Tests for the VFDT (Hoeffding Tree) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.trees.base import LeafNode, SplitNode, ensure_length
+from repro.trees.vfdt import HoeffdingTreeClassifier
+from tests.conftest import make_linear_binary, make_multiclass_blobs, make_xor
+
+
+def _stream_fit(model, X, y, classes, batch=100):
+    for start in range(0, len(X), batch):
+        model.partial_fit(X[start : start + batch], y[start : start + batch], classes=classes)
+    return model
+
+
+class TestBaseNodes:
+    def test_ensure_length_pads_with_zeros(self):
+        np.testing.assert_allclose(ensure_length(np.array([1.0, 2.0]), 4), [1, 2, 0, 0])
+
+    def test_leaf_rejects_bad_prediction_mode(self):
+        with pytest.raises(ValueError):
+            LeafNode(n_classes=2, n_features=2, leaf_prediction="bogus")
+
+    def test_leaf_majority_prediction(self):
+        leaf = LeafNode(n_classes=2, n_features=2, leaf_prediction="mc")
+        for _ in range(8):
+            leaf.learn_one(np.array([0.1, 0.2]), 1, n_classes=2)
+        for _ in range(2):
+            leaf.learn_one(np.array([0.5, 0.5]), 0, n_classes=2)
+        proba = leaf.predict_proba(np.array([0.3, 0.3]), 2)
+        assert proba[1] > proba[0]
+
+    def test_leaf_class_growth(self):
+        leaf = LeafNode(n_classes=2, n_features=2)
+        leaf.learn_one(np.array([0.1, 0.1]), 2, n_classes=3)
+        assert leaf.n_classes == 3
+        assert len(leaf.class_dist) == 3
+
+    def test_split_node_routing(self):
+        node = SplitNode(feature=1, threshold=0.5)
+        assert node.branch_for(np.array([0.9, 0.3])) == 0
+        assert node.branch_for(np.array([0.9, 0.7])) == 1
+        nominal = SplitNode(feature=0, threshold=2.0, is_nominal=True)
+        assert nominal.branch_for(np.array([2.0])) == 0
+        assert nominal.branch_for(np.array([1.0])) == 1
+
+
+class TestHoeffdingTree:
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(grace_period=0)
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(split_confidence=0.0)
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(leaf_prediction="x")
+        with pytest.raises(ValueError):
+            HoeffdingTreeClassifier(split_criterion="x")
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            HoeffdingTreeClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_learns_separable_concept(self):
+        # A looser split confidence keeps the test stream short; the default
+        # 1e-7 needs tens of thousands of observations before the Hoeffding
+        # bound separates near-equal merits.
+        X, y = make_multiclass_blobs(6000, n_classes=3, n_features=4, seed=0)
+        model = _stream_fit(
+            HoeffdingTreeClassifier(grace_period=100, split_confidence=1e-3),
+            X, y, [0, 1, 2],
+        )
+        accuracy = np.mean(model.predict(X[-500:]) == y[-500:])
+        assert accuracy > 0.85
+        assert model.n_split_events >= 1
+
+    def test_grows_monotonically(self):
+        """The basic VFDT never prunes: the node count can only grow."""
+        X, y = make_xor(6000, seed=1)
+        model = HoeffdingTreeClassifier(grace_period=100)
+        sizes = []
+        for start in range(0, len(X), 500):
+            model.partial_fit(X[start : start + 500], y[start : start + 500], classes=[0, 1])
+            sizes.append(model.n_nodes)
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_nba_leaves_improve_on_mc_for_linear_data(self):
+        X, y = make_linear_binary(4000, n_features=4, seed=2, noise=0.05)
+        mc = _stream_fit(HoeffdingTreeClassifier(leaf_prediction="mc"), X, y, [0, 1])
+        nba = _stream_fit(HoeffdingTreeClassifier(leaf_prediction="nba"), X, y, [0, 1])
+        acc_mc = np.mean(mc.predict(X[-500:]) == y[-500:])
+        acc_nba = np.mean(nba.predict(X[-500:]) == y[-500:])
+        assert acc_nba >= acc_mc - 0.02
+
+    def test_proba_output_is_distribution(self):
+        X, y = make_multiclass_blobs(1500, n_classes=3, n_features=3, seed=3)
+        model = _stream_fit(HoeffdingTreeClassifier(), X, y, [0, 1, 2])
+        proba = model.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_max_depth_is_respected(self):
+        X, y = make_xor(8000, seed=4)
+        model = _stream_fit(
+            HoeffdingTreeClassifier(grace_period=50, max_depth=2), X, y, [0, 1]
+        )
+        assert model.depth <= 2
+
+    def test_no_split_before_bound_beats_tie_threshold(self):
+        """With the default confidence the Hoeffding bound stays above the tie
+        threshold for the first ~3000 observations, so near-tied random-label
+        merits must not trigger any split in a short stream."""
+        rng = np.random.default_rng(5)
+        X = rng.uniform(size=(2000, 2))
+        y = rng.integers(0, 2, size=2000)
+        model = _stream_fit(
+            HoeffdingTreeClassifier(grace_period=100, tie_threshold=0.05), X, y, [0, 1]
+        )
+        assert model.n_split_events == 0
+
+    def test_reset_clears_structure(self):
+        X, y = make_multiclass_blobs(1000, seed=6)
+        model = _stream_fit(HoeffdingTreeClassifier(grace_period=50), X, y, [0, 1, 2])
+        model.reset()
+        assert model.root is None
+        assert model.n_split_events == 0
+
+
+class TestComplexityCounting:
+    def test_mc_leaf_counts(self):
+        X, y = make_linear_binary(300, n_features=5)
+        model = HoeffdingTreeClassifier()
+        model.partial_fit(X, y, classes=[0, 1])
+        report = model.complexity()
+        if model.n_nodes == 1:
+            # A single majority leaf: no splits, one parameter.
+            assert report.n_splits == 0
+            assert report.n_parameters == 1
+
+    def test_nba_leaf_counts_scale_with_features_and_classes(self):
+        X, y = make_multiclass_blobs(300, n_classes=3, n_features=4)
+        model = HoeffdingTreeClassifier(leaf_prediction="nba")
+        model.partial_fit(X, y, classes=[0, 1, 2])
+        report = model.complexity()
+        if model.n_nodes == 1:
+            assert report.n_splits == 3
+            assert report.n_parameters == 12
+
+    def test_split_adds_inner_node_to_counts(self):
+        X, y = make_multiclass_blobs(5000, n_classes=2, n_features=3, seed=7)
+        model = _stream_fit(
+            HoeffdingTreeClassifier(grace_period=100, split_confidence=1e-3),
+            X, y, [0, 1],
+        )
+        report = model.complexity()
+        n_inner = model.n_nodes - model.n_leaves
+        assert report.n_splits == n_inner
+        assert report.n_parameters == n_inner + model.n_leaves
