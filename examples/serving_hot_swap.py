@@ -1,0 +1,102 @@
+"""Serving workflow: save -> load -> register -> drift-triggered promotion.
+
+This example walks the full deployment loop of the serving subsystem:
+
+1. train a Dynamic Model Tree and *save* it to a versioned model file,
+2. *load* the file and *register* it in a :class:`repro.serving.ModelRegistry`,
+3. serve batched predictions through a :class:`repro.serving.ScoringService`
+   (which resolves the registry on every request, so swaps are instant),
+4. run a :class:`repro.serving.ChampionChallenger` deployment on a stream
+   whose concept flips mid-way: a DDM drift detector watching the champion's
+   error stream fires, and the shadow-scored challenger is promoted -- an
+   atomic hot swap the scoring service picks up on its next request.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_hot_swap.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro import (
+    ChampionChallenger,
+    DynamicModelTree,
+    ModelRegistry,
+    ScoringService,
+    load_model,
+    save_model,
+)
+from repro.drift import DDM
+
+
+def make_stream(n: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """A linear concept and its inversion (abrupt drift when switched)."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0.0, 1.0, size=(n, 4))
+    weights = np.array([1.0, 1.0, -1.0, -1.0])
+    y_concept_a = (X @ weights > 0).astype(int)
+    return X, y_concept_a, 1 - y_concept_a
+
+
+def train(model: DynamicModelTree, X: np.ndarray, y: np.ndarray) -> DynamicModelTree:
+    for start in range(0, len(X), 100):
+        model.partial_fit(X[start : start + 100], y[start : start + 100], classes=[0, 1])
+    return model
+
+
+def main() -> None:
+    X, y_a, y_b = make_stream(6000, seed=0)
+
+    # ------------------------------------------------- 1. train + save
+    champion = train(DynamicModelTree(random_state=0), X[:1500], y_a[:1500])
+    model_dir = tempfile.mkdtemp(prefix="repro-serving-")
+    model_path = f"{model_dir}/dmt-champion.json"
+    save_model(champion, model_path)
+    print(f"saved champion to {model_path}")
+
+    # ------------------------------------------------- 2. load + register
+    registry = ModelRegistry()
+    deployment = ChampionChallenger(
+        registry,
+        "fraud-scorer",
+        load_model(model_path),
+        drift_detector=DDM(min_observations=30),
+    )
+    service = ScoringService(registry, max_batch_size=512)
+    accuracy = float(np.mean(service.predict("fraud-scorer", X[:1000]) == y_a[:1000]))
+    print(f"serving v1, accuracy on concept A: {accuracy:.3f}")
+
+    # --------------------------------- 3. stable traffic (concept A)
+    for start in range(1500, 3000, 100):
+        deployment.process_batch(X[start : start + 100], y_a[start : start + 100])
+    print(f"stable phase done (drifts observed: {deployment.n_drifts})")
+
+    # ----------------------- 4. install a challenger, then the concept flips
+    challenger = train(DynamicModelTree(random_state=1), X[:500], y_b[:500])
+    deployment.set_challenger(challenger)
+    for start in range(3000, 6000, 100):
+        report = deployment.process_batch(X[start : start + 100], y_b[start : start + 100])
+        if report["promoted"]:
+            print(
+                f"drift detected at sample {start}: challenger promoted "
+                f"(champion shadow acc "
+                f"{report['champion_accuracy']:.3f} vs challenger "
+                f"{report['challenger_accuracy']:.3f})"
+            )
+            break
+
+    active = registry.active_version("fraud-scorer")
+    print(f"active version: {active.key} (metadata: {active.metadata.get('role')})")
+    accuracy = float(np.mean(service.predict("fraud-scorer", X[:1000]) == y_b[:1000]))
+    print(f"serving v{active.version}, accuracy on concept B: {accuracy:.3f}")
+    print(f"service stats: {service.stats('fraud-scorer')}")
+    shutil.rmtree(model_dir)
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,10 @@ The most important entry points are:
 * :class:`repro.evaluation.PrequentialEvaluator` -- test-then-train runs.
 * :mod:`repro.experiments` -- regeneration of every table and figure of the
   paper's evaluation section.
+* :mod:`repro.persistence` -- versioned model files (``save_model`` /
+  ``load_model``) with bit-exact round-trips for every learner.
+* :mod:`repro.serving` -- model registry with atomic hot-swap, a batched
+  scoring service and champion/challenger deployments.
 """
 
 from repro.base import StreamClassifier, ComplexityReport
@@ -27,8 +31,10 @@ from repro.trees.fimtdd import FIMTDDClassifier
 from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
 from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
 from repro.evaluation.prequential import PrequentialEvaluator
+from repro.persistence import load_model, save_model
+from repro.serving import ChampionChallenger, ModelRegistry, ScoringService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "StreamClassifier",
@@ -41,5 +47,10 @@ __all__ = [
     "AdaptiveRandomForestClassifier",
     "LeveragingBaggingClassifier",
     "PrequentialEvaluator",
+    "save_model",
+    "load_model",
+    "ModelRegistry",
+    "ScoringService",
+    "ChampionChallenger",
     "__version__",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.persistence.mixin import PersistableStateMixin
 from repro.utils.validation import check_features, check_labels
 
 
@@ -49,7 +50,7 @@ class ComplexityReport:
         )
 
 
-class StreamClassifier(ABC):
+class StreamClassifier(PersistableStateMixin, ABC):
     """Abstract incremental classifier.
 
     Subclasses are updated with (mini-)batches of observations via

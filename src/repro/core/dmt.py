@@ -188,6 +188,35 @@ class DynamicModelTree(StreamClassifier):
 
     # ------------------------------------------------------------ inference
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised inference: partition the batch by leaf, score per leaf.
+
+        The batch is routed through the tree with one boolean mask per split
+        node (:meth:`DMTNode.route_batch_groups`), then every leaf scores all
+        of its rows with a single matrix operation instead of a per-row
+        Python loop.
+        """
+        X, _ = self._validate_input(X)
+        if self.root is None or self.classes_ is None:
+            raise RuntimeError("predict_proba() called before partial_fit().")
+        n_model_classes = self.root.model.n_classes
+        width = min(n_model_classes, self.n_classes_)
+        proba = np.zeros((len(X), self.n_classes_))
+        for leaf, rows in self.root.route_batch_groups(X):
+            leaf_proba = leaf.model.predict_proba(X[rows])
+            proba[rows, :width] = leaf_proba[:, :width]
+        # If fewer classes were observed than the model supports (binary GLM
+        # always emits two columns), renormalise over the observed classes.
+        row_sums = proba.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return proba / row_sums
+
+    def _predict_proba_per_row(self, X: np.ndarray) -> np.ndarray:
+        """Reference implementation: route and score one row at a time.
+
+        Kept as the correctness baseline for the vectorised path (see
+        ``tests/test_serving.py``) and as the slow contender in
+        ``benchmarks/bench_serving_throughput.py``.
+        """
         X, _ = self._validate_input(X)
         if self.root is None or self.classes_ is None:
             raise RuntimeError("predict_proba() called before partial_fit().")
@@ -197,8 +226,6 @@ class DynamicModelTree(StreamClassifier):
             leaf = self.root.sorted_leaf(x)
             leaf_proba = leaf.model.predict_proba(x.reshape(1, -1))[0]
             proba[row, :n_model_classes] = leaf_proba[: self.n_classes_]
-        # If fewer classes were observed than the model supports (binary GLM
-        # always emits two columns), renormalise over the observed classes.
         row_sums = proba.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return proba / row_sums

@@ -228,3 +228,44 @@ class DMTNode:
             else:
                 node = node.right
         return node
+
+    def route_batch_groups(self, X: np.ndarray) -> list[tuple["DMTNode", np.ndarray]]:
+        """Partition a batch into per-leaf row groups in one sweep.
+
+        Instead of walking the tree once per row, the batch is partitioned
+        with a boolean mask at every split node on the way down, so each
+        observation is touched once per tree level with vectorised
+        comparisons.  Returns ``(leaf, rows)`` pairs covering every row of
+        ``X`` exactly once; only leaves that received rows appear.
+        """
+        X = np.asarray(X, dtype=float)
+        groups: list[tuple[DMTNode, np.ndarray]] = []
+        stack: list[tuple[DMTNode, np.ndarray]] = [(self, np.arange(len(X)))]
+        while stack:
+            node, rows = stack.pop()
+            if node.is_leaf:
+                groups.append((node, rows))
+                continue
+            mask = X[rows, node.split_feature] <= node.split_threshold
+            left_rows = rows[mask]
+            right_rows = rows[~mask]
+            if len(left_rows):
+                stack.append((node.left, left_rows))
+            if len(right_rows):
+                stack.append((node.right, right_rows))
+        return groups
+
+    def route_batch(self, X: np.ndarray) -> tuple[list["DMTNode"], np.ndarray]:
+        """Route a whole batch to its leaves (see :meth:`route_batch_groups`).
+
+        Returns ``(leaves, assignments)`` where ``leaves`` are the leaf nodes
+        that received at least one row and ``assignments`` maps every row of
+        ``X`` to its index in ``leaves``.
+        """
+        groups = self.route_batch_groups(X)
+        assignments = np.zeros(len(X), dtype=np.intp)
+        leaves: list[DMTNode] = []
+        for leaf, rows in groups:
+            assignments[rows] = len(leaves)
+            leaves.append(leaf)
+        return leaves, assignments

@@ -4,8 +4,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+from repro.persistence.mixin import PersistableStateMixin
 
-class BaseDriftDetector(ABC):
+
+class BaseDriftDetector(PersistableStateMixin, ABC):
     """Streaming change detector over a univariate signal.
 
     Detectors consume one value at a time via :meth:`update` (typically a

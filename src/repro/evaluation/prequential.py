@@ -35,6 +35,7 @@ class PrequentialResult:
     n_splits_trace: list[float] = field(default_factory=list)
     n_parameters_trace: list[float] = field(default_factory=list)
     time_trace: list[float] = field(default_factory=list)
+    overall_confusion: ConfusionMatrix | None = None
 
     # ------------------------------------------------------------ summaries
     @property

@@ -1,0 +1,50 @@
+"""Model persistence: versioned state-dict serialization for every learner.
+
+Any classifier in :mod:`repro` (and any drift detector) can be saved to a
+JSON model file and restored bit-for-bit::
+
+    from repro.persistence import save_model, load_model
+
+    save_model(model, "dmt.json")
+    clone = load_model("dmt.json")          # identical predictions
+    clone.partial_fit(X, y)                  # identical future behaviour
+
+See :mod:`repro.persistence.serialize` for the file format and
+:mod:`repro.persistence.registry` for registering custom components.
+"""
+
+from repro.persistence.codec import SerializationError, decode, encode
+from repro.persistence.mixin import PersistableStateMixin
+from repro.persistence.registry import (
+    register,
+    registered_classes,
+    registered_name,
+    resolve,
+)
+from repro.persistence.serialize import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    from_state,
+    load_model,
+    read_header,
+    save_model,
+    to_state,
+)
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "PersistableStateMixin",
+    "SerializationError",
+    "decode",
+    "encode",
+    "from_state",
+    "load_model",
+    "read_header",
+    "register",
+    "registered_classes",
+    "registered_name",
+    "resolve",
+    "save_model",
+    "to_state",
+]

@@ -1,0 +1,42 @@
+"""Shared persistence hooks for model-like base classes.
+
+Mixed into :class:`repro.base.StreamClassifier` and
+:class:`repro.drift.base.BaseDriftDetector`; imports inside the methods keep
+the import graph acyclic (the model modules themselves import those bases).
+"""
+
+from __future__ import annotations
+
+
+class PersistableStateMixin:
+    """``to_state`` / ``from_state`` / ``save`` backed by :mod:`repro.persistence`."""
+
+    def to_state(self) -> dict:
+        """Serialise this object into a versioned, JSON-safe state dict.
+
+        The state captures the full object graph -- structure, weights,
+        accumulated statistics and random-generator state -- so
+        :meth:`from_state` restores an object with identical behaviour, both
+        for prediction/detection and for future updates.
+        """
+        from repro.persistence.serialize import to_state
+
+        return to_state(self)
+
+    @classmethod
+    def from_state(cls, state: dict):
+        """Rebuild an object from a state dict produced by :meth:`to_state`."""
+        from repro.persistence.serialize import from_state
+
+        obj = from_state(state)
+        if not isinstance(obj, cls):
+            raise TypeError(
+                f"State holds a {type(obj).__name__}, not a {cls.__name__}."
+            )
+        return obj
+
+    def save(self, path) -> str:
+        """Write this object to ``path`` (see :func:`repro.persistence.save_model`)."""
+        from repro.persistence.serialize import save_model
+
+        return save_model(self, path)

@@ -1,0 +1,24 @@
+"""Model serving: registry, batched scoring and champion/challenger rollout.
+
+The serving layer turns persisted stream learners into a deployable unit:
+
+* :class:`ModelRegistry` -- named, versioned models with atomic hot-swap,
+* :class:`ScoringService` -- batched ``predict`` / ``predict_proba`` across
+  registered models with per-model latency and throughput counters,
+* :class:`ChampionChallenger` -- shadow-scores a challenger on live traffic
+  and promotes it when a drift detector fires on the champion's errors.
+
+See ``examples/serving_hot_swap.py`` for the end-to-end workflow.
+"""
+
+from repro.serving.deployment import ChampionChallenger
+from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.serving.service import ScoringService, ScoringStats
+
+__all__ = [
+    "ChampionChallenger",
+    "ModelRegistry",
+    "ModelVersion",
+    "ScoringService",
+    "ScoringStats",
+]

@@ -1,0 +1,140 @@
+"""Batched scoring service with per-model latency/throughput accounting.
+
+:class:`ScoringService` is the request-facing layer: it resolves a model name
+through a :class:`~repro.serving.registry.ModelRegistry` at call time (so hot
+swaps take effect immediately), scores requests in bounded batches, and keeps
+lightweight per-model counters -- request count, rows scored, latency mean /
+max and rows per second -- that a monitoring endpoint can expose.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+import numpy as np
+
+from repro.serving.registry import ModelRegistry
+
+
+class ScoringStats:
+    """Running latency/throughput counters for one model name."""
+
+    __slots__ = (
+        "n_requests",
+        "n_rows",
+        "total_seconds",
+        "max_latency",
+        "min_latency",
+    )
+
+    def __init__(self) -> None:
+        self.n_requests = 0
+        self.n_rows = 0
+        self.total_seconds = 0.0
+        self.max_latency = 0.0
+        self.min_latency = math.inf
+
+    def observe(self, n_rows: int, seconds: float) -> None:
+        self.n_requests += 1
+        self.n_rows += int(n_rows)
+        self.total_seconds += float(seconds)
+        self.max_latency = max(self.max_latency, seconds)
+        self.min_latency = min(self.min_latency, seconds)
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_seconds / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.n_rows / self.total_seconds if self.total_seconds > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_rows": self.n_rows,
+            "total_seconds": self.total_seconds,
+            "mean_latency_seconds": self.mean_latency,
+            "max_latency_seconds": self.max_latency,
+            "min_latency_seconds": (
+                self.min_latency if self.n_requests else 0.0
+            ),
+            "rows_per_second": self.rows_per_second,
+        }
+
+
+class ScoringService:
+    """Score requests against registered models, in bounded batches.
+
+    Parameters
+    ----------
+    registry:
+        The model registry to resolve names against.  A fresh one is created
+        when omitted, which is convenient for tests and examples.
+    max_batch_size:
+        Upper bound on the number of rows handed to a model in one call.
+        Larger requests are chunked; ``None`` scores each request whole.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | None = None,
+        max_batch_size: int | None = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError(
+                f"max_batch_size must be >= 1 or None, got {max_batch_size!r}."
+            )
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.max_batch_size = max_batch_size
+        self._lock = threading.Lock()
+        self._stats: dict[str, ScoringStats] = {}
+
+    # -------------------------------------------------------------- scoring
+    def predict(self, name: str, X: np.ndarray) -> np.ndarray:
+        """Class labels of the active model for ``name`` on ``X``."""
+        return self._score(name, X, "predict")
+
+    def predict_proba(self, name: str, X: np.ndarray) -> np.ndarray:
+        """Class probabilities of the active model for ``name`` on ``X``."""
+        return self._score(name, X, "predict_proba")
+
+    def _score(self, name: str, X: np.ndarray, method: str) -> np.ndarray:
+        model = self.registry.get(name)
+        X = np.asarray(X)
+        started = time.perf_counter()
+        score = getattr(model, method)
+        if self.max_batch_size is None or len(X) <= self.max_batch_size:
+            result = score(X)
+        else:
+            chunks = [
+                score(X[start : start + self.max_batch_size])
+                for start in range(0, len(X), self.max_batch_size)
+            ]
+            result = np.concatenate(chunks, axis=0)
+        elapsed = time.perf_counter() - started
+        with self._lock:
+            self._stats.setdefault(name, ScoringStats()).observe(len(X), elapsed)
+        return result
+
+    # ------------------------------------------------------------ monitoring
+    def stats(self, name: str) -> dict:
+        """Counter snapshot for one model name (zeros if never scored)."""
+        with self._lock:
+            stats = self._stats.get(name)
+            return stats.snapshot() if stats else ScoringStats().snapshot()
+
+    def metrics(self) -> dict[str, dict]:
+        """Counter snapshots for every model name scored so far."""
+        with self._lock:
+            return {name: stats.snapshot() for name, stats in self._stats.items()}
+
+    def reset_stats(self, name: str | None = None) -> None:
+        """Clear the counters of one model (or of all models)."""
+        with self._lock:
+            if name is None:
+                self._stats.clear()
+            else:
+                self._stats.pop(name, None)
