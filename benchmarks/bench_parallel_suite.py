@@ -1,0 +1,115 @@
+"""Parallel experiment-engine benchmark: serial vs. sharded grid execution.
+
+Runs the same 4x4 (model, dataset) grid three ways:
+
+1. serially in-process (``jobs=1``, the legacy ``ExperimentSuite.run`` path),
+2. sharded across worker processes (``jobs=4`` by default),
+3. resumed from the store populated by run 2 (every cell cached on disk).
+
+The parallel run is gated on bit-identical deterministic summaries before
+any timing is reported.  Results go to ``BENCH_parallel.json`` next to the
+repository root.  The process-level speedup scales with the host's cores
+(``cpu_count`` is recorded alongside; on a single-core machine only the
+store-resume speedup is visible).  Run with::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_suite.py
+
+Environment knobs: ``REPRO_BENCH_JOBS`` (default 4), ``REPRO_BENCH_SCALE``
+(default 0.01).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.experiments.parallel import grid_configs, run_grid
+from repro.experiments.store import ResultStore
+
+MODELS = ("dmt", "vfdt_mc", "vfdt_nba", "efdt")
+DATASETS = ("sea", "agrawal", "electricity", "bank")
+SEED = 42
+BATCH_FRACTION = 0.01
+
+
+def main() -> dict:
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+    configs = grid_configs(
+        MODELS, DATASETS, scale=scale, seed=SEED, batch_fraction=BATCH_FRACTION
+    )
+
+    started = time.perf_counter()
+    serial = run_grid(configs, jobs=1)
+    serial_seconds = time.perf_counter() - started
+
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    try:
+        store = ResultStore(store_dir)
+        started = time.perf_counter()
+        parallel = run_grid(configs, jobs=jobs, store=store)
+        parallel_seconds = time.perf_counter() - started
+
+        # Correctness gate: same seeds must give identical results (only the
+        # wall-clock traces are host-dependent).
+        for config in configs:
+            expected = serial[config].deterministic_summary()
+            observed = parallel[config].deterministic_summary()
+            if expected != observed:
+                raise AssertionError(
+                    f"parallel result diverged from serial for {config}: "
+                    f"{observed} != {expected}"
+                )
+
+        started = time.perf_counter()
+        run_grid(configs, jobs=jobs, store=store)
+        resume_seconds = time.perf_counter() - started
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    results = {
+        "benchmark": "parallel_suite",
+        "grid": {
+            "models": list(MODELS),
+            "datasets": list(DATASETS),
+            "cells": len(configs),
+            "scale": scale,
+            "seed": SEED,
+            "batch_fraction": BATCH_FRACTION,
+        },
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "resume_from_store_seconds": resume_seconds,
+        "resume_speedup_vs_serial": serial_seconds / resume_seconds,
+        "equivalence": "deterministic summaries bit-identical serial vs parallel",
+    }
+
+    out_path = os.path.normpath(
+        os.path.join(
+            os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_parallel.json"
+        )
+    )
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+
+    print(f"grid: {len(configs)} cells, jobs={jobs}, cpus={results['cpu_count']}")
+    print(f"serial:   {serial_seconds:8.2f}s")
+    print(
+        f"parallel: {parallel_seconds:8.2f}s  ({results['speedup']:.2f}x speedup)"
+    )
+    print(
+        f"resume:   {resume_seconds:8.2f}s  "
+        f"({results['resume_speedup_vs_serial']:.1f}x vs serial, all cells cached)"
+    )
+    print(f"wrote {out_path}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

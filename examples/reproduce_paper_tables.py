@@ -51,6 +51,15 @@ def parse_args() -> argparse.Namespace:
         choices=list(DATASET_REGISTRY), help="data sets to evaluate",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the grid (1 = serial)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="optional result-store directory; finished cells are persisted "
+             "and reused on the next invocation",
+    )
     return parser.parse_args()
 
 
@@ -62,6 +71,8 @@ def main() -> None:
         scale=args.scale,
         seed=args.seed,
         batch_fraction=args.batch_fraction,
+        jobs=args.jobs,
+        store=args.store,
     )
     print(
         f"Running {len(args.models)} models x {len(args.datasets)} data sets "

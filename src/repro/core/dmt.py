@@ -221,11 +221,12 @@ class DynamicModelTree(StreamClassifier):
         if self.root is None or self.classes_ is None:
             raise RuntimeError("predict_proba() called before partial_fit().")
         n_model_classes = self.root.model.n_classes
+        width = min(n_model_classes, self.n_classes_)
         proba = np.zeros((len(X), self.n_classes_))
         for row, x in enumerate(X):
             leaf = self.root.sorted_leaf(x)
             leaf_proba = leaf.model.predict_proba(x.reshape(1, -1))[0]
-            proba[row, :n_model_classes] = leaf_proba[: self.n_classes_]
+            proba[row, :width] = leaf_proba[:width]
         row_sums = proba.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return proba / row_sums

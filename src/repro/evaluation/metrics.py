@@ -10,25 +10,38 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.persistence.mixin import PersistableStateMixin
 
-class ConfusionMatrix:
-    """Incrementally updatable confusion matrix over a fixed class space."""
+
+class ConfusionMatrix(PersistableStateMixin):
+    """Incrementally updatable confusion matrix over a fixed class space.
+
+    Rows, columns and the per-class metric arrays follow the order of the
+    ``classes`` argument, which need not be sorted.
+    """
 
     def __init__(self, classes: np.ndarray) -> None:
         self.classes = np.asarray(classes)
         if len(self.classes) < 2:
             raise ValueError("At least two classes are required.")
+        if len(np.unique(self.classes)) != len(self.classes):
+            raise ValueError(f"Duplicate classes in {self.classes!r}.")
         size = len(self.classes)
         self.matrix = np.zeros((size, size), dtype=float)
+        # searchsorted requires a sorted array; keep a sorted view plus the
+        # permutation back to the caller's class order.
+        sort_order = np.argsort(self.classes, kind="stable")
+        self._sorted_classes = self.classes[sort_order]
+        self._sorted_to_caller = sort_order
 
     def _index(self, labels: np.ndarray) -> np.ndarray:
-        indices = np.searchsorted(self.classes, labels)
-        indices = np.clip(indices, 0, len(self.classes) - 1)
-        valid = self.classes[indices] == labels
+        positions = np.searchsorted(self._sorted_classes, labels)
+        positions = np.clip(positions, 0, len(self._sorted_classes) - 1)
+        valid = self._sorted_classes[positions] == labels
         if not np.all(valid):
             unknown = np.asarray(labels)[~valid]
             raise ValueError(f"Unknown labels encountered: {np.unique(unknown)}.")
-        return indices
+        return self._sorted_to_caller[positions]
 
     def update(self, y_true: np.ndarray, y_pred: np.ndarray) -> "ConfusionMatrix":
         y_true = np.asarray(y_true)
@@ -89,7 +102,9 @@ class ConfusionMatrix:
         if average == "binary":
             if len(self.classes) != 2:
                 raise ValueError("binary averaging requires exactly two classes.")
-            return float(per_class[1])
+            # The positive class is the larger label (sklearn's default of
+            # pos_label=1 for {0, 1}), independent of the caller's ordering.
+            return float(per_class[int(np.argmax(self.classes))])
         raise ValueError(
             f"average must be 'macro', 'weighted' or 'binary', got {average!r}."
         )

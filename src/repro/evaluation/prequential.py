@@ -18,12 +18,13 @@ import numpy as np
 from repro.base import StreamClassifier
 from repro.evaluation.complexity import sliding_window_aggregate, summarize_trace
 from repro.evaluation.metrics import ConfusionMatrix
+from repro.persistence.mixin import PersistableStateMixin
 from repro.streams.base import Stream, prequential_batches
 from repro.utils.validation import check_in_range
 
 
 @dataclass
-class PrequentialResult:
+class PrequentialResult(PersistableStateMixin):
     """Traces and summary statistics of one prequential run."""
 
     model_name: str
@@ -101,6 +102,18 @@ class PrequentialResult:
             "time_std": self.time_std,
         }
 
+    def deterministic_summary(self) -> dict:
+        """:meth:`summary` without the wall-clock time fields.
+
+        Everything left is a pure function of (model, stream, seed, batching),
+        so two runs of the same configuration -- serial or parallel, on any
+        host -- must agree bit-for-bit on this dictionary.
+        """
+        record = self.summary()
+        record.pop("time_mean")
+        record.pop("time_std")
+        return record
+
 
 class PrequentialEvaluator:
     """Test-then-train evaluator with per-iteration tracing.
@@ -146,6 +159,11 @@ class PrequentialEvaluator:
         max_iterations: int | None = None,
     ) -> PrequentialResult:
         """Run the prequential protocol of one model on one stream."""
+        if stream.position != 0:
+            # A partially (or fully) consumed stream would silently produce a
+            # truncated or empty result; rewind so suite-level stream reuse
+            # always evaluates the full stream.
+            stream.restart()
         classes = stream.classes
         result = PrequentialResult(
             model_name=model_name or type(model).__name__,

@@ -3,10 +3,23 @@
 * :mod:`repro.experiments.registry` -- data-set and model factories matching
   Table I and Section VI-C.
 * :mod:`repro.experiments.runner` -- prequential experiment runner.
+* :mod:`repro.experiments.parallel` -- process-parallel, resumable grid
+  execution engine.
+* :mod:`repro.experiments.store` -- on-disk result store keyed by the full
+  run configuration.
 * :mod:`repro.experiments.tables` -- regeneration of Tables I-VI.
 * :mod:`repro.experiments.figures` -- regeneration of Figures 3 and 4.
+
+Run a grid from the command line with
+``python -m repro.experiments --jobs N --store DIR``.
 """
 
+from repro.experiments.parallel import (
+    GridProgress,
+    default_jobs,
+    grid_configs,
+    run_grid,
+)
 from repro.experiments.registry import (
     DATASET_REGISTRY,
     MODEL_REGISTRY,
@@ -15,15 +28,23 @@ from repro.experiments.registry import (
     make_model,
     model_names,
 )
-from repro.experiments.runner import ExperimentSuite, run_experiment
+from repro.experiments.runner import ExperimentSuite, print_progress, run_experiment
+from repro.experiments.store import ResultStore, RunConfig
 
 __all__ = [
     "DATASET_REGISTRY",
     "MODEL_REGISTRY",
+    "GridProgress",
+    "ResultStore",
+    "RunConfig",
     "dataset_names",
+    "default_jobs",
+    "grid_configs",
     "model_names",
     "make_dataset",
     "make_model",
+    "print_progress",
     "run_experiment",
+    "run_grid",
     "ExperimentSuite",
 ]

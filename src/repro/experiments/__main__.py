@@ -1,0 +1,127 @@
+"""Command-line entry point for the parallel experiment engine.
+
+Runs a (model, dataset) grid under the paper's prequential protocol,
+sharding cells across worker processes and persisting every finished cell
+to an on-disk result store, so an interrupted invocation resumes instead
+of recomputing::
+
+    python -m repro.experiments --jobs 4 --store results/
+    python -m repro.experiments --models dmt vfdt_mc --datasets sea electricity \\
+        --scale 0.002 --jobs 2 --store results/ --tables
+
+``--tables`` regenerates Tables II-VI from the (possibly cached) results
+after the grid finishes; ``--figure4`` prints the ASCII Figure 4 scatter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import dataset_names, model_names
+from repro.experiments.runner import ExperimentSuite, print_progress
+from repro.experiments.tables import (
+    table2_f1,
+    table3_splits,
+    table4_parameters,
+    table5_time,
+    table6_summary,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Parallel, resumable prequential experiment grids.",
+    )
+    parser.add_argument(
+        "--models", nargs="+", default=None, metavar="MODEL",
+        choices=model_names(),
+        help=f"model registry keys (default: all of {', '.join(model_names())})",
+    )
+    parser.add_argument(
+        "--datasets", nargs="+", default=None, metavar="DATASET",
+        choices=dataset_names(),
+        help="data-set registry keys (default: the paper's thirteen streams)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="fraction of the original stream lengths (default: 0.02)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="shared random seed (default: 42)"
+    )
+    parser.add_argument(
+        "--batch-fraction", type=float, default=0.001,
+        help="prequential batch fraction (paper: 0.001)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=None,
+        help="optional cap on prequential iterations per cell",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; 1 runs serially in-process (default: 1)",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="result-store directory; finished cells are persisted here and "
+        "reused on the next invocation",
+    )
+    parser.add_argument(
+        "--tables", action="store_true",
+        help="print Tables II-VI regenerated from the results",
+    )
+    parser.add_argument(
+        "--figure4", action="store_true",
+        help="print the ASCII rendering of Figure 4",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress output"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    suite = ExperimentSuite(
+        model_names=tuple(args.models) if args.models else tuple(model_names()),
+        dataset_names=(
+            tuple(args.datasets) if args.datasets else tuple(dataset_names())
+        ),
+        scale=args.scale,
+        seed=args.seed,
+        batch_fraction=args.batch_fraction,
+        max_iterations=args.max_iterations,
+        jobs=args.jobs,
+        store=args.store,
+    )
+    cells = len(suite.configs())
+    if not args.quiet:
+        print(
+            f"[repro] grid of {len(suite.model_names)} models x "
+            f"{len(suite.dataset_names)} datasets = {cells} cells, "
+            f"jobs={args.jobs}, store={args.store or '(none)'}"
+        )
+    started = time.perf_counter()
+    suite.run(progress=None if args.quiet else print_progress)
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(f"[repro] {cells} cells finished in {elapsed:.1f}s")
+
+    if args.tables:
+        for builder in (table2_f1, table3_splits, table4_parameters, table5_time, table6_summary):
+            _, text = builder(suite)
+            print()
+            print(text)
+    if args.figure4:
+        from repro.experiments.figures import figure4_points, render_figure4_text
+
+        print()
+        print(render_figure4_text(figure4_points(suite)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

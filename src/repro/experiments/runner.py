@@ -1,22 +1,28 @@
 """Experiment runner: prequential runs over the registered data sets and models.
 
 ``run_experiment`` evaluates a single (model, data set) pair;
-:class:`ExperimentSuite` runs a grid of them and caches the per-run
-:class:`~repro.evaluation.prequential.PrequentialResult` objects, from which
-the table and figure builders regenerate the paper's evaluation artefacts.
+:class:`ExperimentSuite` runs a grid of them -- serially or sharded across
+worker processes via :mod:`repro.experiments.parallel` -- and caches the
+per-run :class:`~repro.evaluation.prequential.PrequentialResult` objects
+(optionally persisted through a
+:class:`~repro.experiments.store.ResultStore`), from which the table and
+figure builders regenerate the paper's evaluation artefacts.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.experiments.parallel import GridProgress, grid_configs, run_grid
 from repro.experiments.registry import (
     DATASET_REGISTRY,
     MODEL_REGISTRY,
     make_dataset,
     make_model,
 )
+from repro.experiments.store import ResultStore, RunConfig
 
 
 def run_experiment(
@@ -57,7 +63,7 @@ def run_experiment(
 
 @dataclass
 class ExperimentSuite:
-    """A grid of prequential experiments with cached results.
+    """A grid of prequential experiments with cached (and stored) results.
 
     Parameters
     ----------
@@ -71,6 +77,11 @@ class ExperimentSuite:
         Prequential batch fraction.
     max_iterations:
         Optional cap on iterations per run (useful for smoke tests).
+    jobs:
+        Default worker-process count of :meth:`run` (1 = serial).
+    store:
+        Optional :class:`ResultStore` (or a directory path) persisting every
+        finished cell; an interrupted suite resumes from it.
     """
 
     model_names: tuple[str, ...] = tuple(MODEL_REGISTRY)
@@ -79,41 +90,85 @@ class ExperimentSuite:
     seed: int | None = 42
     batch_fraction: float = 0.001
     max_iterations: int | None = None
+    jobs: int = 1
+    store: ResultStore | None = None
     results: dict[tuple[str, str], PrequentialResult] = field(default_factory=dict)
 
-    def run(self, verbose: bool = False) -> "ExperimentSuite":
-        """Run every missing (model, data set) combination."""
-        for dataset_name in self.dataset_names:
-            for model_name in self.model_names:
-                key = (model_name, dataset_name)
-                if key in self.results:
-                    continue
-                if verbose:
-                    print(f"[repro] running {model_name} on {dataset_name} ...")
-                self.results[key] = run_experiment(
-                    model_name,
-                    dataset_name,
-                    scale=self.scale,
-                    seed=self.seed,
-                    batch_fraction=self.batch_fraction,
-                    max_iterations=self.max_iterations,
-                )
+    def __post_init__(self) -> None:
+        if isinstance(self.store, (str, os.PathLike)):
+            self.store = ResultStore(self.store)
+
+    # ------------------------------------------------------------------ grid
+    def config_for(self, model_name: str, dataset_name: str) -> RunConfig:
+        """The full run configuration of one grid cell."""
+        return RunConfig(
+            model=model_name,
+            dataset=dataset_name,
+            scale=self.scale,
+            seed=self.seed,
+            batch_fraction=self.batch_fraction,
+            max_iterations=self.max_iterations,
+        )
+
+    def configs(self) -> list[RunConfig]:
+        """All grid cells of this suite (dataset-major, like the tables)."""
+        return grid_configs(
+            self.model_names,
+            self.dataset_names,
+            scale=self.scale,
+            seed=self.seed,
+            batch_fraction=self.batch_fraction,
+            max_iterations=self.max_iterations,
+        )
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        verbose: bool = False,
+        jobs: int | None = None,
+        progress=None,
+    ) -> "ExperimentSuite":
+        """Run every missing (model, data set) combination.
+
+        ``jobs`` overrides the suite default; with ``jobs > 1`` the cells
+        are sharded across worker processes.  ``progress`` receives one
+        :class:`~repro.experiments.parallel.GridProgress` event per state
+        change (``verbose=True`` installs a printing callback).
+        """
+        if progress is None and verbose:
+            progress = print_progress
+        missing = [
+            config
+            for config in self.configs()
+            if (config.model, config.dataset) not in self.results
+        ]
+        computed = run_grid(
+            missing,
+            jobs=self.jobs if jobs is None else jobs,
+            store=self.store,
+            progress=progress,
+        )
+        for config, result in computed.items():
+            self.results[(config.model, config.dataset)] = result
         return self
 
     def get(self, model_name: str, dataset_name: str) -> PrequentialResult:
-        """Result of one run (runs it on demand if missing)."""
+        """Result of one run (loaded from the store or run on demand)."""
         key = (model_name, dataset_name)
         if key not in self.results:
-            self.results[key] = run_experiment(
-                model_name,
-                dataset_name,
-                scale=self.scale,
-                seed=self.seed,
-                batch_fraction=self.batch_fraction,
-                max_iterations=self.max_iterations,
-            )
+            config = self.config_for(model_name, dataset_name)
+            self.results[key] = run_grid([config], store=self.store)[config]
         return self.results[key]
 
     def summaries(self) -> list[dict]:
         """Flat summary records of every cached run."""
         return [result.summary() for result in self.results.values()]
+
+
+def print_progress(event: GridProgress) -> None:
+    """Default progress callback: one line per grid-cell state change."""
+    config = event.config
+    print(
+        f"[repro] {event.status:>9} {config.model} on {config.dataset} "
+        f"({event.completed}/{event.total})"
+    )

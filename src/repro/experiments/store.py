@@ -1,0 +1,163 @@
+"""On-disk store of prequential experiment results.
+
+Every grid cell of an experiment suite is identified by its full run
+configuration -- ``(model, dataset, scale, seed, batch_fraction,
+max_iterations)`` -- and stored as one JSON document holding that
+configuration next to the serialized
+:class:`~repro.evaluation.prequential.PrequentialResult` (including its
+:class:`~repro.evaluation.metrics.ConfusionMatrix`, via the persistence
+codec).  An interrupted suite therefore resumes instead of recomputing:
+cells already on disk are loaded, only the missing ones execute, and the
+table/figure builders can regenerate every artefact from a cold store.
+
+Files are written atomically (temp file + rename), so a crash mid-write
+never leaves a truncated result behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+
+from repro.evaluation.prequential import PrequentialResult
+from repro.persistence.serialize import atomic_write_json
+
+RESULT_FORMAT_NAME = "repro-experiment-result"
+RESULT_FORMAT_VERSION = 1
+
+#: File-name shape of a store document; directory scans only touch matches,
+#: so foreign JSON files sharing the directory are ignored rather than fatal.
+_STORE_FILE_PATTERN = re.compile(r".+__.+__[0-9a-f]{16}\.json$")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """The full configuration of one (model, dataset) experiment cell."""
+
+    model: str
+    dataset: str
+    scale: float = 0.02
+    seed: int | None = 42
+    batch_fraction: float = 0.001
+    max_iterations: int | None = None
+
+    def key(self) -> dict:
+        """JSON-safe dictionary identifying this configuration."""
+        return asdict(self)
+
+    def digest(self) -> str:
+        """Stable content hash of the configuration (used for file names)."""
+        canonical = json.dumps(self.key(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @classmethod
+    def from_key(cls, key: dict) -> "RunConfig":
+        return cls(**key)
+
+
+class ResultStore:
+    """Directory of serialized :class:`PrequentialResult` documents.
+
+    Parameters
+    ----------
+    directory:
+        Store location; created (including parents) if missing.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, config: RunConfig) -> str:
+        """File path of a configuration's result document."""
+        filename = f"{config.model}__{config.dataset}__{config.digest()}.json"
+        return os.path.join(self.directory, filename)
+
+    # ------------------------------------------------------------------- API
+    def contains(self, config: RunConfig) -> bool:
+        return os.path.exists(self.path_for(config))
+
+    def put(self, config: RunConfig, result: PrequentialResult) -> str:
+        """Atomically persist one cell's result; returns the file path."""
+        document = {
+            "format": RESULT_FORMAT_NAME,
+            "format_version": RESULT_FORMAT_VERSION,
+            "config": config.key(),
+            "result": result.to_state(),
+        }
+        return atomic_write_json(self.path_for(config), document)
+
+    def get(self, config: RunConfig) -> PrequentialResult | None:
+        """Load one cell's result, or ``None`` if it is not stored."""
+        path = self.path_for(config)
+        if not os.path.exists(path):
+            return None
+        document = self._read_document(path)
+        stored = RunConfig.from_key(document["config"])
+        if stored != config:
+            raise ValueError(
+                f"Result file {path!r} holds config {stored}, expected {config}; "
+                "the store directory is corrupt (hash collision or manual edit)."
+            )
+        return PrequentialResult.from_state(document["result"])
+
+    def configs(self) -> list[RunConfig]:
+        """Configurations of every stored result (sorted by file name)."""
+        return [
+            RunConfig.from_key(document["config"])
+            for document in self._read_all_documents()
+        ]
+
+    def load_all(self) -> dict[RunConfig, PrequentialResult]:
+        """Decode every stored result (used to rebuild tables from cache)."""
+        return {
+            RunConfig.from_key(document["config"]): PrequentialResult.from_state(
+                document["result"]
+            )
+            for document in self._read_all_documents()
+        }
+
+    def _read_document(self, path: str) -> dict:
+        with open(path) as handle:
+            document = json.load(handle)
+        self._check_document(document, path)
+        return document
+
+    def _read_all_documents(self) -> list[dict]:
+        return [
+            self._read_document(os.path.join(self.directory, filename))
+            for filename in sorted(os.listdir(self.directory))
+            if _STORE_FILE_PATTERN.fullmatch(filename)
+        ]
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for name in os.listdir(self.directory)
+            if _STORE_FILE_PATTERN.fullmatch(name)
+        )
+
+    @staticmethod
+    def _check_document(document: dict, path: str) -> None:
+        if (
+            not isinstance(document, dict)
+            or document.get("format") != RESULT_FORMAT_NAME
+        ):
+            raise ValueError(f"{path!r} is not a {RESULT_FORMAT_NAME} document.")
+        version = document.get("format_version")
+        if (
+            not isinstance(version, int)
+            or isinstance(version, bool)
+            or version < 1
+            or version > RESULT_FORMAT_VERSION
+        ):
+            raise ValueError(
+                f"{path!r} uses format_version {version!r}; this build supports "
+                f"up to {RESULT_FORMAT_VERSION}."
+            )
+        if "config" not in document or "result" not in document:
+            raise ValueError(f"{path!r} is missing 'config' or 'result'.")

@@ -88,6 +88,8 @@ def ensure_default_registrations() -> None:
     )
     from repro.ensembles.bagging import OzaBaggingClassifier
     from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
+    from repro.evaluation.metrics import ConfusionMatrix
+    from repro.evaluation.prequential import PrequentialResult
     from repro.linear.glm import IncrementalGLM
     from repro.linear.naive_bayes import GaussianNaiveBayes
     from repro.trees.base import LeafNode, SplitNode
@@ -145,6 +147,9 @@ def ensure_default_registrations() -> None:
         VarianceReductionCriterion,
         # Ensemble internals.
         _ForestMember,
+        # Evaluation artefacts (experiment result store).
+        ConfusionMatrix,
+        PrequentialResult,
         # Drift detectors.
         ADWIN,
         _BucketRow,

@@ -32,6 +32,29 @@ FORMAT_NAME = "repro-model"
 FORMAT_VERSION = 1
 
 
+def atomic_write_json(path: str | os.PathLike, document) -> str:
+    """Write ``document`` as JSON via temp file + rename.
+
+    A concurrent reader (serving process hot-reloading models, a resuming
+    experiment grid) never observes a partially written file; the temp file
+    is removed on any failure.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    if not os.path.isdir(directory):
+        raise FileNotFoundError(f"Directory does not exist: {directory!r}.")
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.remove(tmp_path)
+        raise
+    return path
+
+
 def to_state(obj) -> dict:
     """Serialise a model or drift detector into a JSON-safe state dict."""
     return {
@@ -59,21 +82,7 @@ def save_model(model, path: str | os.PathLike) -> str:
     reader -- e.g. a serving process hot-reloading models -- never observes
     a partially written file.
     """
-    state = to_state(model)
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    if not os.path.isdir(directory):
-        raise FileNotFoundError(f"Directory does not exist: {directory!r}.")
-    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(state, handle)
-        os.replace(tmp_path, path)
-    except BaseException:
-        if os.path.exists(tmp_path):
-            os.remove(tmp_path)
-        raise
-    return path
+    return atomic_write_json(path, to_state(model))
 
 
 def load_model(path: str | os.PathLike):

@@ -90,6 +90,22 @@ class TestLearning:
         np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
         assert np.all(proba >= 0)
 
+    def test_per_row_proba_with_one_observed_class(self):
+        """Regression: the per-row baseline mis-sliced probabilities whenever
+        the leaf GLM carries more classes than the tree has observed (a binary
+        GLM is created even when only one class label has been seen)."""
+        rng = np.random.default_rng(11)
+        X = rng.uniform(size=(120, 3))
+        y = np.zeros(120, dtype=int)
+        model = DynamicModelTree(random_state=11)
+        model.partial_fit(X, y)
+        assert model.n_classes_ == 1
+        assert model.root.model.n_classes == 2
+        per_row = model._predict_proba_per_row(X[:15])
+        vectorized = model.predict_proba(X[:15])
+        np.testing.assert_allclose(per_row, vectorized, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(per_row.sum(axis=1), 1.0)
+
     def test_new_class_after_initialisation_raises(self):
         X, y = make_linear_binary(100, n_features=3)
         model = DynamicModelTree(random_state=0)

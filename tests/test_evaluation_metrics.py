@@ -35,6 +35,47 @@ class TestConfusionMatrix:
         with pytest.raises(ValueError, match="Unknown"):
             matrix.update(np.array([2]), np.array([0]))
 
+    def test_unsorted_classes_bin_correctly(self):
+        """Regression: user-supplied unsorted classes must not mis-bin counts."""
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        unsorted = ConfusionMatrix(np.array([1, 0])).update(y_true, y_pred)
+        sorted_ = ConfusionMatrix(np.array([0, 1])).update(y_true, y_pred)
+        # Rows/columns follow the caller's order: row 0 is class 1 here.
+        np.testing.assert_array_equal(unsorted.matrix, sorted_.matrix[::-1, ::-1])
+        assert unsorted.accuracy() == sorted_.accuracy()
+        assert unsorted.f1("weighted") == pytest.approx(sorted_.f1("weighted"))
+        assert unsorted.f1("macro") == pytest.approx(sorted_.f1("macro"))
+
+    def test_unsorted_classes_reject_truly_unknown_labels(self):
+        matrix = ConfusionMatrix(np.array([3, 1, 2]))
+        matrix.update(np.array([3, 1, 2]), np.array([1, 1, 2]))
+        assert matrix.total == 3
+        with pytest.raises(ValueError, match="Unknown"):
+            matrix.update(np.array([0]), np.array([1]))
+
+    def test_binary_average_is_order_independent(self):
+        y_true = np.array([0, 0, 1, 1, 1])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        unsorted = ConfusionMatrix(np.array([1, 0])).update(y_true, y_pred)
+        sorted_ = ConfusionMatrix(np.array([0, 1])).update(y_true, y_pred)
+        # Positive class is the larger label regardless of caller order.
+        assert unsorted.f1("binary") == pytest.approx(sorted_.f1("binary"))
+        assert unsorted.recall("binary") == pytest.approx(2.0 / 3.0)
+
+    def test_duplicate_classes_raise(self):
+        with pytest.raises(ValueError, match="Duplicate"):
+            ConfusionMatrix(np.array([0, 1, 1]))
+
+    def test_state_round_trip(self):
+        matrix = ConfusionMatrix(np.array([1, 0]))
+        matrix.update(np.array([0, 1, 1]), np.array([0, 1, 0]))
+        clone = ConfusionMatrix.from_state(matrix.to_state())
+        np.testing.assert_array_equal(clone.matrix, matrix.matrix)
+        np.testing.assert_array_equal(clone.classes, matrix.classes)
+        clone.update(np.array([0]), np.array([0]))
+        assert clone.total == matrix.total + 1
+
     def test_length_mismatch_raises(self):
         matrix = ConfusionMatrix(np.array([0, 1]))
         with pytest.raises(ValueError):
@@ -143,3 +184,50 @@ class TestTraceAggregation:
     def test_invalid_window_raises(self):
         with pytest.raises(ValueError):
             sliding_window_aggregate([1.0], window=0)
+
+    def test_empty_trace_aggregates_to_empty(self):
+        means, stds = sliding_window_aggregate([], window=5)
+        assert means.size == 0 and stds.size == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 80), window=st.integers(1, 100))
+    def test_vectorised_formulation_matches_naive_loop(self, seed, n, window):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(100.0, 5.0, size=n)  # large offset stresses cancellation
+        means, stds = sliding_window_aggregate(values, window)
+        for index in range(n):
+            chunk = values[max(index - window + 1, 0) : index + 1]
+            assert means[index] == pytest.approx(chunk.mean(), abs=1e-9)
+            assert stds[index] == pytest.approx(chunk.std(), abs=1e-7)
+
+    def test_nan_input_poisons_its_windows(self):
+        values = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        means, stds = sliding_window_aggregate(values, window=2)
+        assert means[0] == pytest.approx(1.0)
+        assert np.isnan(means[1]) and np.isnan(means[2])  # windows holding the NaN
+        assert np.isnan(stds[1]) and np.isnan(stds[2])
+        assert means[3] == pytest.approx(3.5)
+        assert means[4] == pytest.approx(4.5)
+
+    def test_huge_window_equals_expanding_statistics(self):
+        values = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        means, stds = sliding_window_aggregate(values, window=50_000_000)
+        for index in range(values.size):
+            prefix = values[: index + 1]
+            assert means[index] == pytest.approx(prefix.mean())
+            assert stds[index] == pytest.approx(prefix.std())
+
+    def test_regime_shift_trace_keeps_within_window_std(self):
+        """Regression: a huge magnitude jump mid-trace (concept drift) must
+        not wash out the genuine within-window spread of the stable regions."""
+        rng = np.random.default_rng(1)
+        values = np.concatenate(
+            [rng.normal(0.0, 0.3, size=500), rng.normal(1e6, 0.3, size=500)]
+        )
+        window = 100
+        means, stds = sliding_window_aggregate(values, window)
+        for index in (250, 900):  # deep inside each stable regime
+            chunk = values[index - window + 1 : index + 1]
+            assert stds[index] == pytest.approx(chunk.std(), rel=1e-9)
+            assert stds[index] > 0.2
+            assert means[index] == pytest.approx(chunk.mean(), rel=1e-9)

@@ -138,6 +138,29 @@ class TestPrequentialEvaluator:
         )
         assert result.overall_confusion.total == 360  # all but the warm-up batch
 
+    def test_consumed_stream_is_restarted(self):
+        """Regression: a consumed stream must not yield a silent empty result."""
+        stream = _binary_stream(n=400)
+        stream.take()  # fully consume
+        assert stream.position == 400
+        result = PrequentialEvaluator(batch_size=40).evaluate(
+            _CountingClassifier(), stream
+        )
+        assert result.n_iterations == 10
+        assert result.n_samples == 400
+
+    def test_partially_consumed_stream_evaluates_full_stream(self):
+        stream = _binary_stream(n=400, seed=5)
+        stream.next_sample(123)
+        partial = PrequentialEvaluator(batch_size=40).evaluate(
+            _CountingClassifier(), stream
+        )
+        fresh = PrequentialEvaluator(batch_size=40).evaluate(
+            _CountingClassifier(), _binary_stream(n=400, seed=5)
+        )
+        assert partial.n_samples == fresh.n_samples == 400
+        assert partial.f1_trace == fresh.f1_trace
+
 
 class TestPrequentialResult:
     def test_empty_result_summaries_are_zero(self):
@@ -145,3 +168,25 @@ class TestPrequentialResult:
         assert result.f1_mean == 0.0
         assert result.n_splits_mean == 0.0
         assert result.time_mean == 0.0
+
+    def test_deterministic_summary_drops_time_fields(self):
+        stream = _binary_stream(n=300)
+        result = PrequentialEvaluator(batch_size=30).evaluate(
+            _CountingClassifier(), stream
+        )
+        deterministic = result.deterministic_summary()
+        assert "time_mean" not in deterministic
+        assert "time_std" not in deterministic
+        assert deterministic["f1_mean"] == result.summary()["f1_mean"]
+
+    def test_result_state_round_trip(self):
+        stream = _binary_stream(n=300)
+        result = PrequentialEvaluator(batch_size=30).evaluate(
+            _CountingClassifier(), stream, model_name="stub", dataset_name="toy"
+        )
+        clone = PrequentialResult.from_state(result.to_state())
+        assert clone.summary() == result.summary()
+        assert clone.f1_trace == result.f1_trace
+        np.testing.assert_array_equal(
+            clone.overall_confusion.matrix, result.overall_confusion.matrix
+        )

@@ -1,0 +1,250 @@
+"""Tests for the parallel grid engine, the result store and the CLI."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.evaluation.prequential import PrequentialResult
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.parallel import (
+    CACHED,
+    COMPLETED,
+    SUBMITTED,
+    default_jobs,
+    grid_configs,
+    run_grid,
+)
+from repro.experiments.runner import ExperimentSuite, run_experiment
+from repro.experiments.store import ResultStore, RunConfig
+from repro.experiments.tables import table2_f1
+
+#: A small but non-trivial grid shared by the equivalence/resume tests.
+SMALL_GRID = dict(scale=0.002, seed=7, batch_fraction=0.02)
+
+
+def _small_configs(models=("dmt", "vfdt_mc"), datasets=("sea", "electricity")):
+    return grid_configs(models, datasets, **SMALL_GRID)
+
+
+class TestRunConfig:
+    def test_digest_is_stable_and_config_sensitive(self):
+        config = RunConfig(model="dmt", dataset="sea")
+        assert config.digest() == RunConfig(model="dmt", dataset="sea").digest()
+        assert config.digest() != RunConfig(model="dmt", dataset="sea", seed=1).digest()
+
+    def test_key_round_trip(self):
+        config = RunConfig(
+            model="dmt", dataset="sea", scale=0.5, seed=None,
+            batch_fraction=0.01, max_iterations=3,
+        )
+        assert RunConfig.from_key(config.key()) == config
+
+
+class TestResultStore:
+    def _result(self):
+        return run_experiment("vfdt_mc", "sea", **SMALL_GRID)
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        config = RunConfig(model="vfdt_mc", dataset="sea", **SMALL_GRID)
+        result = self._result()
+        assert store.get(config) is None
+        assert not store.contains(config)
+        store.put(config, result)
+        assert store.contains(config)
+        loaded = store.get(config)
+        assert loaded.summary() == result.summary()
+        assert loaded.f1_trace == result.f1_trace
+        np.testing.assert_array_equal(
+            loaded.overall_confusion.matrix, result.overall_confusion.matrix
+        )
+        assert store.configs() == [config]
+        assert len(store) == 1
+
+    def test_load_all_rebuilds_every_cell(self, tmp_path):
+        store = ResultStore(tmp_path)
+        configs = _small_configs(models=("vfdt_mc",))
+        run_grid(configs, jobs=1, store=store)
+        loaded = store.load_all()
+        assert set(loaded) == set(configs)
+        assert all(isinstance(r, PrequentialResult) for r in loaded.values())
+
+    def test_foreign_json_files_are_ignored_by_scans(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = RunConfig(model="vfdt_mc", dataset="sea", **SMALL_GRID)
+        store.put(config, self._result())
+        with open(os.path.join(store.directory, "BENCH_other.json"), "w") as handle:
+            json.dump({"benchmark": "unrelated"}, handle)
+        assert len(store) == 1
+        assert store.configs() == [config]
+        assert set(store.load_all()) == {config}
+
+    def test_corrupt_document_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = RunConfig(model="vfdt_mc", dataset="sea", **SMALL_GRID)
+        with open(store.path_for(config), "w") as handle:
+            json.dump({"format": "other"}, handle)
+        with pytest.raises(ValueError, match="document"):
+            store.get(config)
+
+    def test_config_mismatch_raises(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = RunConfig(model="vfdt_mc", dataset="sea", **SMALL_GRID)
+        store.put(config, self._result())
+        other = RunConfig(model="vfdt_mc", dataset="sea", seed=999)
+        os.replace(store.path_for(config), store.path_for(other))
+        with pytest.raises(ValueError, match="config"):
+            store.get(other)
+
+
+class TestRunGrid:
+    def test_invalid_jobs_raise(self):
+        with pytest.raises(ValueError):
+            run_grid([], jobs=0)
+
+    def test_default_jobs_is_positive(self):
+        assert default_jobs() >= 1
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        """Same seeds => identical deterministic summaries and traces."""
+        configs = _small_configs()
+        serial = run_grid(configs, jobs=1)
+        parallel = run_grid(configs, jobs=2)
+        assert list(serial) == list(parallel) == configs
+        for config in configs:
+            assert (
+                serial[config].deterministic_summary()
+                == parallel[config].deterministic_summary()
+            )
+            assert serial[config].f1_trace == parallel[config].f1_trace
+            assert serial[config].n_splits_trace == parallel[config].n_splits_trace
+            np.testing.assert_array_equal(
+                serial[config].overall_confusion.matrix,
+                parallel[config].overall_confusion.matrix,
+            )
+
+    def test_resume_skips_finished_cells(self, tmp_path):
+        """An interrupted grid (partial store) only executes the missing cells."""
+        configs = _small_configs()
+        store = ResultStore(tmp_path)
+        # Simulate a run killed after two of four cells finished.
+        run_grid(configs[:2], jobs=1, store=store)
+        assert len(store) == 2
+
+        events = []
+        results = run_grid(
+            configs, jobs=2, store=store, progress=lambda e: events.append(e)
+        )
+        by_status = {}
+        for event in events:
+            by_status.setdefault(event.status, []).append(event.config)
+        assert set(by_status[CACHED]) == set(configs[:2])
+        assert set(by_status[SUBMITTED]) == set(configs[2:])
+        assert set(by_status[COMPLETED]) == set(configs[2:])
+        assert len(store) == 4
+        assert set(results) == set(configs)
+
+    def test_fully_cached_grid_runs_nothing(self, tmp_path):
+        configs = _small_configs(models=("vfdt_mc",))
+        store = ResultStore(tmp_path)
+        run_grid(configs, jobs=1, store=store)
+        events = []
+        run_grid(configs, jobs=2, store=store, progress=lambda e: events.append(e))
+        assert [event.status for event in events] == [CACHED] * len(configs)
+
+    def test_progress_counts_reach_total(self):
+        configs = _small_configs(models=("vfdt_mc",))
+        events = []
+        run_grid(configs, jobs=1, progress=lambda e: events.append(e))
+        assert events[-1].status == COMPLETED
+        assert events[-1].completed == events[-1].total == len(configs)
+
+    def test_worker_errors_propagate(self):
+        bad = [RunConfig(model="nope", dataset="sea", **SMALL_GRID)]
+        with pytest.raises(KeyError):
+            run_grid(bad, jobs=2)
+
+    def test_failing_cell_does_not_discard_finished_siblings(self, tmp_path):
+        """Siblings that finish while one cell fails must still be stored."""
+        store = ResultStore(tmp_path)
+        good = _small_configs(models=("vfdt_mc",))
+        bad = RunConfig(model="nope", dataset="sea", **SMALL_GRID)
+        with pytest.raises(KeyError):
+            run_grid(good + [bad], jobs=2, store=store)
+        assert len(store) == len(good)
+        for config in good:
+            assert store.contains(config)
+
+
+class TestSuiteIntegration:
+    def test_suite_run_parallel_with_store(self, tmp_path):
+        suite = ExperimentSuite(
+            model_names=("dmt", "vfdt_mc"),
+            dataset_names=("sea", "electricity"),
+            jobs=2,
+            store=str(tmp_path / "store"),
+            **SMALL_GRID,
+        )
+        suite.run()
+        assert len(suite.results) == 4
+        assert len(suite.store) == 4
+
+    def test_tables_regenerate_from_cold_store(self, tmp_path):
+        """Table builders work from cached runs without recomputing."""
+        kwargs = dict(
+            model_names=("dmt", "vfdt_mc"),
+            dataset_names=("sea",),
+            store=str(tmp_path),
+            **SMALL_GRID,
+        )
+        warm = ExperimentSuite(**kwargs).run()
+        records_warm, _ = table2_f1(warm)
+
+        cold = ExperimentSuite(**kwargs)  # fresh suite, results only on disk
+        events = []
+        cold.run(progress=lambda e: events.append(e))
+        assert [event.status for event in events] == [CACHED, CACHED]
+        records_cold, text = table2_f1(cold)
+        assert records_cold == records_warm
+        assert "Table II" in text
+
+    def test_suite_get_loads_from_store(self, tmp_path):
+        kwargs = dict(
+            model_names=("vfdt_mc",), dataset_names=("sea",),
+            store=str(tmp_path), **SMALL_GRID,
+        )
+        first = ExperimentSuite(**kwargs).run()
+        second = ExperimentSuite(**kwargs)
+        result = second.get("vfdt_mc", "sea")
+        assert result.summary() == first.get("vfdt_mc", "sea").summary()
+
+
+class TestCommandLine:
+    CLI_ARGS = [
+        "--models", "vfdt_mc",
+        "--datasets", "sea", "electricity",
+        "--scale", "0.002",
+        "--batch-fraction", "0.02",
+        "--seed", "7",
+    ]
+
+    def test_cli_runs_grid_and_populates_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        exit_code = cli_main(
+            self.CLI_ARGS + ["--jobs", "2", "--store", store_dir, "--tables"]
+        )
+        assert exit_code == 0
+        assert len(ResultStore(store_dir)) == 2
+        output = capsys.readouterr().out
+        assert "completed" in output
+        assert "Table II" in output
+
+    def test_cli_resumes_from_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        cli_main(self.CLI_ARGS + ["--store", store_dir, "--quiet"])
+        cli_main(self.CLI_ARGS + ["--store", store_dir])
+        output = capsys.readouterr().out
+        assert "cached" in output
+        assert "submitted" not in output
