@@ -1,0 +1,221 @@
+"""Scenario-transform throughput benchmark.
+
+Two measurements:
+
+1. **Transform microbench** (informational): rows/sec of every transform
+   wrapped around the cheapest generator in the repo (SEA, tens of millions
+   of rows/sec), which bounds each transform's own per-row cost from above.
+2. **Catalogue overhead gate**: for every catalogued scenario, rows/sec of
+   the full transform stack vs. the base stream it wraps.  This is the
+   acceptance gate of the scenario subsystem: ``overhead_vs_base < 2.0``
+   for every scenario (the stack must cost less than generating the data
+   itself again).
+
+Results go to ``BENCH_scenarios.json`` next to the repository root.  Run
+with::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+
+Environment knobs: ``REPRO_BENCH_ROWS`` (stream length, default 200_000),
+``REPRO_BENCH_BATCH`` (consumption batch size, default 2_048),
+``REPRO_BENCH_REPEATS`` (timing repeats, best-of, default 3).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.registry import build_scenario_pipeline, scenario_names
+from repro.streams import (
+    DriftInjector,
+    FeatureCorruptor,
+    ImbalanceShifter,
+    LabelNoiser,
+    ScenarioPipeline,
+    SEAGenerator,
+)
+
+OUTPUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_scenarios.json")
+#: Acceptance gate on per-layer overhead.  Default 2.0 (the subsystem's
+#: acceptance criterion, for idle machines); CI loosens it via
+#: ``REPRO_BENCH_OVERHEAD_GATE`` because wall-clock ratios on shared
+#: runners flake under load.
+OVERHEAD_GATE = float(os.environ.get("REPRO_BENCH_OVERHEAD_GATE", "2.0"))
+
+
+def _sea(n_rows: int, seed: int, concept: int = 0) -> SEAGenerator:
+    return SEAGenerator(
+        n_samples=n_rows, noise=0.05, drift_positions=(), initial_concept=concept,
+        seed=seed,
+    )
+
+
+def _consume(stream, batch_size: int) -> int:
+    stream.restart()
+    rows = 0
+    while stream.has_more_samples():
+        X, _ = stream.next_sample(batch_size)
+        rows += len(X)
+    return rows
+
+
+def _rows_per_second(stream, batch_size: int, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rows = _consume(stream, batch_size)
+        best = min(best, (time.perf_counter() - started) / rows)
+    return 1.0 / best
+
+
+def _stack_rates(stack, batch_size: int, repeats: int) -> list[float]:
+    """Best-of rows/sec for every stream of a stack, passes interleaved.
+
+    Interleaving (one timing pass per stream, repeated) instead of timing
+    each stream back-to-back keeps slow machine-load drift from biasing the
+    overhead ratios between the streams.
+    """
+    best = [float("inf")] * len(stack)
+    for _ in range(repeats):
+        for index, stream in enumerate(stack):
+            started = time.perf_counter()
+            rows = _consume(stream, batch_size)
+            best[index] = min(best[index], (time.perf_counter() - started) / rows)
+    return [1.0 / seconds for seconds in best]
+
+
+def transform_microbench(n_rows: int, batch_size: int, repeats: int) -> dict:
+    """Every transform over the cheapest base stream (upper-bound cost)."""
+    base = _sea(n_rows, seed=1)
+    alternate = _sea(n_rows, seed=2, concept=2)
+    transforms = {
+        "drift_injector_gradual": DriftInjector(
+            base, alternate, mode="gradual", position=0.5, width=0.1, seed=3
+        ),
+        "drift_injector_recurring": DriftInjector(
+            base, alternate, mode="recurring", period=0.2
+        ),
+        "feature_corruptor": FeatureCorruptor(
+            base, missing_rate=0.1, noise_std=0.1, swap=((0, 2),), seed=4
+        ),
+        "label_noiser": LabelNoiser(base, noise=0.2, seed=5),
+        "imbalance_shifter": ImbalanceShifter(
+            base, class_weights=(0.9, 0.1), oversample=1.5
+        ),
+        "pipeline_3_layers": ScenarioPipeline(
+            DriftInjector(base, alternate, mode="gradual", seed=6),
+            layers=[
+                (FeatureCorruptor, dict(missing_rate=0.1, noise_std=0.1, seed=7)),
+                (LabelNoiser, dict(noise=0.1, seed=8)),
+            ],
+            name="bench_pipeline",
+        ),
+    }
+    raw_rate = _rows_per_second(base, batch_size, repeats)
+    records = {
+        "raw_sea_stream": {"rows_per_second": round(raw_rate), "overhead_vs_raw": 1.0}
+    }
+    for name, stream in transforms.items():
+        rate = _rows_per_second(stream, batch_size, repeats)
+        records[name] = {
+            "rows_per_second": round(rate),
+            "overhead_vs_raw": round(raw_rate / rate, 3),
+        }
+    return records
+
+
+def catalogue_overhead(n_rows: int, batch_size: int, repeats: int) -> dict:
+    """Per-layer overhead of every catalogued scenario (the gate).
+
+    For each transform layer the overhead is measured against the stream it
+    directly wraps (a ``DriftInjector`` against its base concept), which is
+    the subsystem's acceptance criterion: every transform < 2x over its
+    wrapped stream.  The stack total vs. the innermost base is reported as
+    well (informational; a deep stack compounds).
+    """
+    records = {}
+    for name in scenario_names():
+        pipeline = build_scenario_pipeline(name, n_rows, seed=42)
+        stack = pipeline.layer_stack()  # outermost ... base
+        rates = _stack_rates(stack, batch_size, max(repeats, 5))
+        layers = {}
+        for outer_index in range(len(stack) - 1):
+            layer_name = type(stack[outer_index]).__name__
+            layers[f"{outer_index}:{layer_name}"] = {
+                "rows_per_second": round(rates[outer_index]),
+                "overhead_vs_wrapped": round(
+                    rates[outer_index + 1] / rates[outer_index], 3
+                ),
+            }
+        records[name] = {
+            "base_rows_per_second": round(rates[-1]),
+            "scenario_rows_per_second": round(rates[0]),
+            "stack_total_vs_base": round(rates[-1] / rates[0], 3),
+            "layers": layers,
+        }
+    return records
+
+
+def main() -> dict:
+    n_rows = int(os.environ.get("REPRO_BENCH_ROWS", "200000"))
+    batch_size = int(os.environ.get("REPRO_BENCH_BATCH", "2048"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+
+    transforms = transform_microbench(n_rows, batch_size, repeats)
+    catalogue = catalogue_overhead(n_rows, batch_size, repeats)
+    failures = {
+        f"{name}/{layer_name}": layer["overhead_vs_wrapped"]
+        for name, record in catalogue.items()
+        for layer_name, layer in record["layers"].items()
+        if layer["overhead_vs_wrapped"] >= OVERHEAD_GATE
+    }
+    document = {
+        "benchmark": "scenario_transform_throughput",
+        "n_rows": n_rows,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "overhead_gate": OVERHEAD_GATE,
+        "transforms_over_sea": transforms,
+        "catalogue": catalogue,
+        "overhead_gate_failures": failures,
+    }
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in transforms)
+    print(f"{'transform over SEA':<{width}}  rows/sec  vs raw SEA")
+    for name, record in transforms.items():
+        print(
+            f"{name:<{width}}  {record['rows_per_second']:>10,}  "
+            f"{record['overhead_vs_raw']:.3f}x"
+        )
+    width = max(len(name) for name in catalogue)
+    print(
+        f"\n{'catalogue scenario':<{width}}  scenario r/s    base r/s  stack total"
+        "  worst layer"
+    )
+    for name, record in catalogue.items():
+        worst = max(
+            (layer["overhead_vs_wrapped"] for layer in record["layers"].values()),
+            default=1.0,
+        )
+        print(
+            f"{name:<{width}}  {record['scenario_rows_per_second']:>12,}"
+            f"  {record['base_rows_per_second']:>10,}"
+            f"  {record['stack_total_vs_base']:>10.3f}x"
+            f"  {worst:>10.3f}x"
+        )
+    if failures:
+        raise SystemExit(
+            f"Overhead gate (< {OVERHEAD_GATE}x vs wrapped stream) failed "
+            f"for: {sorted(failures)}"
+        )
+    print(f"\nAll scenarios under the {OVERHEAD_GATE}x overhead gate -> {OUTPUT_PATH}")
+    return document
+
+
+if __name__ == "__main__":
+    main()

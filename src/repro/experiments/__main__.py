@@ -9,6 +9,13 @@ of recomputing::
     python -m repro.experiments --models dmt vfdt_mc --datasets sea electricity \\
         --scale 0.002 --jobs 2 --store results/ --tables
 
+``--scenarios`` switches the grid from the paper's thirteen streams to the
+catalogue of composable stream scenarios (gradual/recurring/incremental
+drift, feature corruption, label noise, prior shift; see
+``repro.streams.scenarios``)::
+
+    python -m repro.experiments --scenarios --jobs 4 --store results-scenarios/
+
 ``--tables`` regenerates Tables II-VI from the (possibly cached) results
 after the grid finishes; ``--figure4`` prints the ASCII Figure 4 scatter.
 """
@@ -19,7 +26,7 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import dataset_names, model_names
+from repro.experiments.registry import dataset_names, model_names, scenario_names
 from repro.experiments.runner import ExperimentSuite, print_progress
 from repro.experiments.tables import (
     table2_f1,
@@ -42,8 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--datasets", nargs="+", default=None, metavar="DATASET",
-        choices=dataset_names(),
-        help="data-set registry keys (default: the paper's thirteen streams)",
+        choices=dataset_names() + scenario_names(),
+        help="data-set or scenario registry keys (default: the paper's "
+        "thirteen streams); combined with --scenarios, the whole scenario "
+        "catalogue is added to the listed keys",
+    )
+    parser.add_argument(
+        "--scenarios", action="store_true",
+        help="run the scenario catalogue "
+        f"({', '.join(scenario_names())}) instead of the paper's data sets "
+        "(with --datasets: in addition to the listed keys)",
     )
     parser.add_argument(
         "--scale", type=float, default=0.02,
@@ -85,11 +100,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.datasets:
+        grid_datasets = tuple(args.datasets)
+        if args.scenarios:
+            grid_datasets += tuple(
+                name for name in scenario_names() if name not in grid_datasets
+            )
+    elif args.scenarios:
+        grid_datasets = tuple(scenario_names())
+    else:
+        grid_datasets = tuple(dataset_names())
     suite = ExperimentSuite(
         model_names=tuple(args.models) if args.models else tuple(model_names()),
-        dataset_names=(
-            tuple(args.datasets) if args.datasets else tuple(dataset_names())
-        ),
+        dataset_names=grid_datasets,
         scale=args.scale,
         seed=args.seed,
         batch_fraction=args.batch_fraction,

@@ -9,7 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.registry import DATASET_REGISTRY, FIGURE3_DATASETS, MODEL_REGISTRY
+from repro.experiments.registry import (
+    FIGURE3_DATASETS,
+    MODEL_REGISTRY,
+    get_dataset_spec,
+)
 from repro.experiments.runner import ExperimentSuite
 
 
@@ -56,7 +60,7 @@ def figure4_points(suite: ExperimentSuite) -> list[dict]:
                 {
                     "model": MODEL_REGISTRY[model_key].display_name,
                     "model_key": model_key,
-                    "dataset": DATASET_REGISTRY[dataset_key].display_name,
+                    "dataset": get_dataset_spec(dataset_key).display_name,
                     "dataset_key": dataset_key,
                     "avg_log_splits": float(
                         np.log(max(result.n_splits_mean, 1e-9))

@@ -1,4 +1,4 @@
-"""Data-set and model registries of the reproduction.
+"""Data-set, scenario and model registries of the reproduction.
 
 The data-set registry mirrors Table I of the paper: ten real-world streams
 (as surrogates, see :mod:`repro.streams.realworld`) and three synthetic
@@ -6,6 +6,12 @@ streams generated with the published SEA / Agrawal / Hyperplane definitions.
 The model registry mirrors Section VI-C: the Dynamic Model Tree with the
 configuration of Section V-D and the baselines with the configurations the
 paper states.
+
+Beyond the paper's grid, :data:`SCENARIO_REGISTRY` catalogues named stream
+scenarios built from the composable transforms of
+:mod:`repro.streams.scenarios` -- gradual/recurring/incremental drift,
+feature corruption, label noise and prior shift -- all runnable through the
+same parallel experiment engine (``python -m repro.experiments --scenarios``).
 
 Every factory takes a ``scale`` (fraction of the original stream length) and
 a ``seed`` so that experiments are reproducible and laptop-sized by default.
@@ -23,10 +29,22 @@ from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
 from repro.streams.base import Stream
 from repro.streams.preprocessing import NormalizedStream
 from repro.streams.realworld import REAL_WORLD_SPECS, make_surrogate
+from repro.streams.scenarios import (
+    DriftInjector,
+    FeatureCorruptor,
+    ImbalanceShifter,
+    LabelNoiser,
+    ScenarioPipeline,
+)
 from repro.streams.synthetic import (
     AgrawalGenerator,
     HyperplaneGenerator,
+    LEDGenerator,
+    RandomRBFGenerator,
     SEAGenerator,
+    SineGenerator,
+    STAGGERGenerator,
+    WaveformGenerator,
 )
 from repro.trees.efdt import ExtremelyFastDecisionTreeClassifier
 from repro.trees.fimtdd import FIMTDDClassifier
@@ -152,6 +170,300 @@ FIGURE3_DATASETS = ("hyperplane", "sea", "insects_incremental", "tueyeq")
 
 
 # --------------------------------------------------------------------------
+# Stream scenarios (composable transforms over the generators)
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScenarioSpec(DatasetSpec):
+    """One named stream scenario: a :class:`DatasetSpec` (so the table and
+    figure builders work on scenario grids unchanged) plus scenario-only
+    metadata."""
+
+    family: str  # "drift" | "corruption" | "label_noise" | "imbalance" | "composite"
+    description: str
+
+
+#: Nominal (scale=1.0) length of every catalogued scenario.
+SCENARIO_NOMINAL_SAMPLES = 200_000
+
+
+def _subseed(seed: int | None, offset: int) -> int | None:
+    """Derive independent child seeds from the experiment seed."""
+    return None if seed is None else seed * 1_000 + offset
+
+
+def build_scenario_pipeline(
+    name: str, n_samples: int, seed: int | None = 42
+) -> ScenarioPipeline:
+    """Build the raw (un-normalised) pipeline of a catalogued scenario.
+
+    Exposed separately from the registry factories so tests and benchmarks
+    can exercise the exact transform stack without the online normalisation
+    wrapper (which is consumption-order dependent by design).
+    """
+    if name not in _SCENARIO_BUILDERS:
+        raise KeyError(
+            f"Unknown scenario {name!r}; available: {sorted(_SCENARIO_BUILDERS)}."
+        )
+    return _SCENARIO_BUILDERS[name](n_samples, seed)
+
+
+def _sea_pair(n_samples: int, seed: int | None):
+    """Two stationary SEA concepts (theta=8 vs theta=7) of equal length."""
+    base = SEAGenerator(
+        n_samples=n_samples, noise=0.05, drift_positions=(),
+        seed=_subseed(seed, 1),
+    )
+    alternate = SEAGenerator(
+        n_samples=n_samples, noise=0.05, drift_positions=(), initial_concept=2,
+        seed=_subseed(seed, 2),
+    )
+    return base, alternate
+
+
+def _scenario_sea_gradual(n: int, seed: int | None) -> ScenarioPipeline:
+    base, alternate = _sea_pair(n, seed)
+    return ScenarioPipeline(
+        DriftInjector(
+            base, alternate, mode="gradual", position=0.5, width=0.05,
+            seed=_subseed(seed, 3),
+        ),
+        name="sea_gradual",
+    )
+
+
+def _scenario_sea_recurring(n: int, seed: int | None) -> ScenarioPipeline:
+    base, alternate = _sea_pair(n, seed)
+    return ScenarioPipeline(
+        DriftInjector(base, alternate, mode="recurring", period=0.2),
+        name="sea_recurring",
+    )
+
+
+def _scenario_sine_incremental(n: int, seed: int | None) -> ScenarioPipeline:
+    base = SineGenerator(
+        n_samples=n, classification_function=0, seed=_subseed(seed, 1)
+    )
+    alternate = SineGenerator(
+        n_samples=n, classification_function=1, seed=_subseed(seed, 2)
+    )
+    return ScenarioPipeline(
+        DriftInjector(base, alternate, mode="incremental", position=0.35, width=0.3),
+        name="sine_incremental",
+    )
+
+
+def _scenario_stagger_abrupt(n: int, seed: int | None) -> ScenarioPipeline:
+    base = STAGGERGenerator(
+        n_samples=n, classification_function=0, seed=_subseed(seed, 1)
+    )
+    alternate = STAGGERGenerator(
+        n_samples=n, classification_function=2, seed=_subseed(seed, 2)
+    )
+    return ScenarioPipeline(
+        DriftInjector(base, alternate, mode="abrupt", position=0.5),
+        name="stagger_abrupt",
+    )
+
+
+def _scenario_agrawal_missing(n: int, seed: int | None) -> ScenarioPipeline:
+    return ScenarioPipeline(
+        AgrawalGenerator(
+            n_samples=n, perturbation=0.1, drift_windows=(),
+            seed=_subseed(seed, 1),
+        ),
+        layers=[
+            (FeatureCorruptor, dict(
+                missing_rate=0.2, start=0.3, seed=_subseed(seed, 2),
+            )),
+        ],
+        name="agrawal_missing",
+    )
+
+
+def _scenario_hyperplane_noisy(n: int, seed: int | None) -> ScenarioPipeline:
+    return ScenarioPipeline(
+        HyperplaneGenerator(
+            n_samples=n, n_features=20, n_drift_features=5, noise=0.05,
+            seed=_subseed(seed, 1),
+        ),
+        layers=[
+            (FeatureCorruptor, dict(
+                noise_std=0.3, start=0.5, seed=_subseed(seed, 2),
+            )),
+        ],
+        name="hyperplane_noisy",
+    )
+
+
+def _scenario_waveform_swap(n: int, seed: int | None) -> ScenarioPipeline:
+    return ScenarioPipeline(
+        WaveformGenerator(n_samples=n, seed=_subseed(seed, 1)),
+        layers=[
+            (FeatureCorruptor, dict(
+                swap=((0, 14), (3, 17), (7, 20)), start=0.5,
+            )),
+        ],
+        name="waveform_swap",
+    )
+
+
+def _scenario_led_label_noise(n: int, seed: int | None) -> ScenarioPipeline:
+    return ScenarioPipeline(
+        LEDGenerator(n_samples=n, noise=0.05, seed=_subseed(seed, 1)),
+        layers=[
+            (LabelNoiser, dict(noise=0.25, start=0.5, seed=_subseed(seed, 2))),
+        ],
+        name="led_label_noise",
+    )
+
+
+def _scenario_rbf_imbalance(n: int, seed: int | None) -> ScenarioPipeline:
+    # The shifter selects from a 1.5x over-sampled window, so the base
+    # stream is generated longer to keep the scenario length at ``n``.
+    # RBF's natural prior is near-uniform (~1/3 each), so with 1.5x
+    # over-sampling a class can be pushed up to roughly half the stream;
+    # the target squeezes the third class to 5% within that supply limit.
+    return ScenarioPipeline(
+        RandomRBFGenerator(
+            n_samples=int(n * 1.5) + 1, n_features=8, n_classes=3,
+            n_centroids=30, seed=_subseed(seed, 1),
+        ),
+        layers=[
+            (ImbalanceShifter, dict(
+                class_weights=(0.5, 0.45, 0.05), start=0.25, end=0.75,
+                oversample=1.5,
+            )),
+        ],
+        name="rbf_imbalance",
+    )
+
+
+def _scenario_electricity_corrupted(n: int, seed: int | None) -> ScenarioPipeline:
+    spec = REAL_WORLD_SPECS["electricity"]
+    return ScenarioPipeline(
+        make_surrogate(
+            "electricity", scale=n / spec.n_samples, seed=_subseed(seed, 1)
+        ),
+        layers=[
+            (FeatureCorruptor, dict(
+                missing_rate=0.1, noise_std=0.1, start=0.2,
+                seed=_subseed(seed, 2),
+            )),
+            (LabelNoiser, dict(noise=0.1, start=0.6, seed=_subseed(seed, 3))),
+        ],
+        name="electricity_corrupted",
+    )
+
+
+def _scenario_sea_storm(n: int, seed: int | None) -> ScenarioPipeline:
+    """Everything at once: recurring drift + corruption + label noise."""
+    base, alternate = _sea_pair(n, seed)
+    return ScenarioPipeline(
+        DriftInjector(base, alternate, mode="recurring", period=0.25),
+        layers=[
+            (FeatureCorruptor, dict(
+                missing_rate=0.1, noise_std=0.2, start=0.4,
+                seed=_subseed(seed, 3),
+            )),
+            (LabelNoiser, dict(noise=0.15, start=0.6, seed=_subseed(seed, 4))),
+        ],
+        name="sea_storm",
+    )
+
+
+_SCENARIO_BUILDERS: dict[str, Callable[[int, int | None], ScenarioPipeline]] = {
+    "sea_gradual": _scenario_sea_gradual,
+    "sea_recurring": _scenario_sea_recurring,
+    "sine_incremental": _scenario_sine_incremental,
+    "stagger_abrupt": _scenario_stagger_abrupt,
+    "agrawal_missing": _scenario_agrawal_missing,
+    "hyperplane_noisy": _scenario_hyperplane_noisy,
+    "waveform_swap": _scenario_waveform_swap,
+    "led_label_noise": _scenario_led_label_noise,
+    "rbf_imbalance": _scenario_rbf_imbalance,
+    "electricity_corrupted": _scenario_electricity_corrupted,
+    "sea_storm": _scenario_sea_storm,
+}
+
+
+def _scenario_factory(name: str) -> Callable[[float, int | None], Stream]:
+    def factory(scale: float, seed: int | None) -> Stream:
+        n_samples = max(int(SCENARIO_NOMINAL_SAMPLES * scale), 500)
+        return NormalizedStream(build_scenario_pipeline(name, n_samples, seed))
+
+    return factory
+
+
+def _build_scenario_registry() -> dict[str, ScenarioSpec]:
+    metadata = {
+        # name: (display, features, classes, drift, family, description)
+        "sea_gradual": (
+            "SEA (gradual drift)", 3, 2, "gradual", "drift",
+            "Sigmoid hand-over between two SEA concepts (theta 8 -> 7).",
+        ),
+        "sea_recurring": (
+            "SEA (recurring drift)", 3, 2, "recurring", "drift",
+            "SEA concepts alternating every 20% of the stream.",
+        ),
+        "sine_incremental": (
+            "Sine (incremental drift)", 2, 2, "incremental", "drift",
+            "Features interpolate from SINE1 to reversed SINE1 over 30%.",
+        ),
+        "stagger_abrupt": (
+            "STAGGER (abrupt drift)", 3, 2, "abrupt", "drift",
+            "STAGGER concept 0 switches to concept 2 at midstream.",
+        ),
+        "agrawal_missing": (
+            "Agrawal (missing values)", 9, 2, "corruption", "corruption",
+            "20% of feature cells go missing (MCAR) after 30% of the stream.",
+        ),
+        "hyperplane_noisy": (
+            "Hyperplane (sensor noise)", 20, 2, "corruption", "corruption",
+            "Gaussian sensor noise (std 0.3) after 50% of the stream.",
+        ),
+        "waveform_swap": (
+            "Waveform (feature swap)", 21, 3, "corruption", "corruption",
+            "Three feature pairs swap columns (rewired sensors) at 50%.",
+        ),
+        "led_label_noise": (
+            "LED (label noise)", 24, 10, "label_noise", "label_noise",
+            "25% uniform label flips in the second half of the stream.",
+        ),
+        "rbf_imbalance": (
+            "RBF (prior shift)", 8, 3, "imbalance", "imbalance",
+            "Class prior ramps to (0.5, 0.45, 0.05) between 25% and 75%.",
+        ),
+        "electricity_corrupted": (
+            "Electricity (corrupted)", 8, 2, "composite", "composite",
+            "Electricity surrogate + missing values + noise + label flips.",
+        ),
+        "sea_storm": (
+            "SEA (storm)", 3, 2, "composite", "composite",
+            "Recurring drift plus feature corruption plus label noise.",
+        ),
+    }
+    registry: dict[str, ScenarioSpec] = {}
+    for name, builder in _SCENARIO_BUILDERS.items():
+        display, n_features, n_classes, drift, family, description = metadata[name]
+        registry[name] = ScenarioSpec(
+            name=name,
+            display_name=display,
+            n_samples=SCENARIO_NOMINAL_SAMPLES,
+            n_features=n_features,
+            n_classes=n_classes,
+            drift=drift,
+            known_drift=True,
+            family=family,
+            description=description,
+            factory=_scenario_factory(name),
+        )
+    return registry
+
+
+SCENARIO_REGISTRY: dict[str, ScenarioSpec] = _build_scenario_registry()
+
+
+# --------------------------------------------------------------------------
 # Models (Section VI-C)
 # --------------------------------------------------------------------------
 def _vfdt_factory(**kwargs) -> Callable[[int | None], StreamClassifier]:
@@ -223,6 +535,11 @@ def dataset_names() -> list[str]:
     return list(DATASET_REGISTRY)
 
 
+def scenario_names() -> list[str]:
+    """Names of all catalogued stream scenarios."""
+    return list(SCENARIO_REGISTRY)
+
+
 def model_names(include_ensembles: bool = True) -> list[str]:
     """Names of all registered models."""
     names = list(MODEL_REGISTRY)
@@ -231,13 +548,20 @@ def model_names(include_ensembles: bool = True) -> list[str]:
     return [name for name in names if MODEL_REGISTRY[name].group == "standalone"]
 
 
-def make_dataset(name: str, scale: float = 0.02, seed: int | None = 42) -> Stream:
-    """Instantiate a registered data set at the given scale."""
-    if name not in DATASET_REGISTRY:
+def get_dataset_spec(name: str) -> DatasetSpec:
+    """Spec of a registered data set *or* scenario (shared key space)."""
+    spec = DATASET_REGISTRY.get(name) or SCENARIO_REGISTRY.get(name)
+    if spec is None:
         raise KeyError(
-            f"Unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}."
+            f"Unknown dataset {name!r}; available datasets: "
+            f"{sorted(DATASET_REGISTRY)}; scenarios: {sorted(SCENARIO_REGISTRY)}."
         )
-    return DATASET_REGISTRY[name].factory(scale, seed)
+    return spec
+
+
+def make_dataset(name: str, scale: float = 0.02, seed: int | None = 42) -> Stream:
+    """Instantiate a registered data set or scenario at the given scale."""
+    return get_dataset_spec(name).factory(scale, seed)
 
 
 def make_model(name: str, seed: int | None = 42) -> StreamClassifier:

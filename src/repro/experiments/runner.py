@@ -19,6 +19,7 @@ from repro.experiments.parallel import GridProgress, grid_configs, run_grid
 from repro.experiments.registry import (
     DATASET_REGISTRY,
     MODEL_REGISTRY,
+    get_dataset_spec,
     make_dataset,
     make_model,
 )
@@ -56,7 +57,7 @@ def run_experiment(
         model,
         stream,
         model_name=MODEL_REGISTRY[model_name].display_name,
-        dataset_name=DATASET_REGISTRY[dataset_name].display_name,
+        dataset_name=get_dataset_spec(dataset_name).display_name,
         max_iterations=max_iterations,
     )
 

@@ -10,7 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.registry import DATASET_REGISTRY, MODEL_REGISTRY
+from repro.experiments.registry import (
+    DATASET_REGISTRY,
+    MODEL_REGISTRY,
+    get_dataset_spec,
+)
 from repro.experiments.runner import ExperimentSuite
 
 
@@ -34,7 +38,7 @@ def table1_datasets(suite: ExperimentSuite | None = None) -> tuple[list[dict], s
     """Table I: the data sets, their shapes and drift types."""
     records = []
     for name in DATASET_REGISTRY:
-        spec = DATASET_REGISTRY[name]
+        spec = get_dataset_spec(name)
         records.append(
             {
                 "dataset": spec.display_name,
@@ -90,7 +94,7 @@ def _metric_table(
         records.append(row)
 
     headers = ["Model"] + [
-        DATASET_REGISTRY[key].display_name for key in dataset_keys
+        get_dataset_spec(key).display_name for key in dataset_keys
     ] + ["Mean"]
     rows = []
     for record in records:
@@ -200,7 +204,7 @@ def table6_summary(
     drift_datasets = [
         key
         for key in suite.dataset_names
-        if DATASET_REGISTRY[key].known_drift
+        if get_dataset_spec(key).known_drift
     ]
 
     f1_overall: dict[str, float] = {}

@@ -27,6 +27,11 @@ tagged dictionaries (``{"__repro__": <kind>, ...}``):
 
 Anything else (open files, lambdas, arbitrary callables) raises
 :class:`SerializationError` naming the offending attribute path.
+
+Classes may declare a ``_repro_transient`` tuple of attribute names that are
+pure caches: the encoder skips them and the decoder rebuilds them by calling
+the instance's ``_init_transient()`` after all persisted attributes are set
+(used by the counter-based streams, whose block caches are regenerable).
 """
 
 from __future__ import annotations
@@ -167,12 +172,15 @@ class Encoder:
         ref = len(self._memo)
         self._memo[id(obj)] = ref
         self._keepalive.append(obj)
+        transient = frozenset(getattr(type(obj), "_repro_transient", ()))
         state: dict[str, object] = {}
         if hasattr(obj, "__dict__"):
             for attr, value in vars(obj).items():
+                if attr in transient:
+                    continue
                 state[attr] = self.encode(value, f"{path}.{attr}")
         for attr in _slot_names(type(obj)):
-            if hasattr(obj, attr):
+            if attr not in transient and hasattr(obj, attr):
                 state[attr] = self.encode(getattr(obj, attr), f"{path}.{attr}")
         return {TAG: "object", "class": name, "id": ref, "state": state}
 
@@ -252,6 +260,12 @@ class Decoder:
         self._memo[data["id"]] = obj
         for attr, value in data["state"].items():
             setattr(obj, attr, self.decode(value))
+        # Classes declaring transient attributes (pure caches skipped by the
+        # encoder) rebuild them here so the decoded object is fully usable.
+        if getattr(type(obj), "_repro_transient", ()) and hasattr(
+            obj, "_init_transient"
+        ):
+            obj._init_transient()
         return obj
 
 

@@ -112,6 +112,28 @@ def ensure_default_registrations() -> None:
         SplitSuggestion,
     )
     from repro.trees.vfdt import HoeffdingTreeClassifier
+    from repro.streams.base import ArrayStream
+    from repro.streams.preprocessing import NormalizedStream, OnlineMinMaxScaler
+    from repro.streams.realworld import SurrogateStream
+    from repro.streams.scenarios import (
+        DriftInjector,
+        FeatureCorruptor,
+        ImbalanceShifter,
+        LabelNoiser,
+        ScenarioPipeline,
+    )
+    from repro.streams.synthetic import (
+        AgrawalGenerator,
+        ConceptDriftStream,
+        HyperplaneGenerator,
+        LEDGenerator,
+        MixedGenerator,
+        RandomRBFGenerator,
+        SEAGenerator,
+        SineGenerator,
+        STAGGERGenerator,
+        WaveformGenerator,
+    )
 
     for cls in (
         # Classifiers (the public entry points of repro.__init__).
@@ -157,6 +179,26 @@ def ensure_default_registrations() -> None:
         DDM,
         EDDM,
         KSWIN,
+        # Streams and scenario transforms (resumable grids, serving replay).
+        ArrayStream,
+        SEAGenerator,
+        AgrawalGenerator,
+        HyperplaneGenerator,
+        RandomRBFGenerator,
+        STAGGERGenerator,
+        SineGenerator,
+        MixedGenerator,
+        LEDGenerator,
+        WaveformGenerator,
+        ConceptDriftStream,
+        SurrogateStream,
+        NormalizedStream,
+        OnlineMinMaxScaler,
+        DriftInjector,
+        FeatureCorruptor,
+        LabelNoiser,
+        ImbalanceShifter,
+        ScenarioPipeline,
     ):
         register(cls)
     # Only mark the defaults as loaded once every registration succeeded, so

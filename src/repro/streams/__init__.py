@@ -1,6 +1,7 @@
-"""Data streams: base API, preprocessing, synthetic generators and surrogates."""
+"""Data streams: base API, preprocessing, synthetic generators, surrogates
+and composable scenario transforms."""
 
-from repro.streams.base import ArrayStream, Stream, prequential_batches
+from repro.streams.base import ArrayStream, SeededStream, Stream, prequential_batches
 from repro.streams.preprocessing import (
     NormalizedStream,
     OnlineMinMaxScaler,
@@ -19,9 +20,18 @@ from repro.streams.synthetic import (
     WaveformGenerator,
 )
 from repro.streams.realworld import SurrogateStream, make_surrogate
+from repro.streams.scenarios import (
+    DriftInjector,
+    FeatureCorruptor,
+    ImbalanceShifter,
+    LabelNoiser,
+    ScenarioPipeline,
+    StreamTransform,
+)
 
 __all__ = [
     "Stream",
+    "SeededStream",
     "ArrayStream",
     "prequential_batches",
     "OnlineMinMaxScaler",
@@ -39,4 +49,10 @@ __all__ = [
     "ConceptDriftStream",
     "SurrogateStream",
     "make_surrogate",
+    "StreamTransform",
+    "DriftInjector",
+    "FeatureCorruptor",
+    "LabelNoiser",
+    "ImbalanceShifter",
+    "ScenarioPipeline",
 ]

@@ -20,12 +20,12 @@ see DESIGN.md -- not a claim of distributional equivalence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream
+from repro.utils.validation import check_in_range
 
 
 @dataclass(frozen=True)
@@ -114,7 +114,7 @@ def _class_weights(n_classes: int, majority_fraction: float) -> np.ndarray:
     return np.concatenate([[majority_fraction], tail])
 
 
-class SurrogateStream(Stream):
+class SurrogateStream(SeededStream):
     """Class-conditional Gaussian stream with configurable concept drift.
 
     Parameters
@@ -160,7 +160,7 @@ class SurrogateStream(Stream):
         name: str = "surrogate",
     ) -> None:
         super().__init__(
-            n_samples=n_samples, n_features=n_features, n_classes=n_classes
+            n_samples=n_samples, n_features=n_features, n_classes=n_classes, seed=seed
         )
         if drift not in _VALID_DRIFTS:
             raise ValueError(f"drift must be one of {sorted(_VALID_DRIFTS)}, got {drift!r}.")
@@ -182,22 +182,25 @@ class SurrogateStream(Stream):
         self.informative_fraction = float(informative_fraction)
         self.noise_std = float(noise_std)
         self.correlation = float(correlation)
-        self.seed = seed
         self.name = name
-        self._rng = check_random_state(seed)
-        self._init_concepts()
+
+    def _init_transient(self) -> None:
+        super()._init_transient()
+        self._concept: dict | None = None
+
+    _repro_transient = SeededStream._repro_transient + ("_concept",)
 
     # ------------------------------------------------------------- concepts
-    def _init_concepts(self) -> None:
-        """Draw the class prototypes of every concept."""
-        setup_rng = check_random_state(
-            self.seed if self.seed is not None else 0
-        )
+    def _concept_draws(self) -> dict:
+        """Class prototypes of every concept plus the latent-factor loadings."""
+        if self._concept is not None:
+            return self._concept
+        setup_rng = self.setup_rng()
         n_informative = max(int(round(self.informative_fraction * self.n_features)), 1)
         informative = setup_rng.choice(
             self.n_features, size=n_informative, replace=False
         )
-        self._informative = np.sort(informative)
+        informative = np.sort(informative)
         n_concepts = 1
         if self.drift == "abrupt":
             n_concepts = self.n_drift_events + 1
@@ -212,62 +215,73 @@ class SurrogateStream(Stream):
         prototypes[:, :, :] = shared_noise_profile
         for concept in range(n_concepts):
             for class_idx in range(self.n_classes):
-                prototypes[concept, class_idx, self._informative] = (
-                    setup_rng.uniform(0.1, 0.9, size=len(self._informative))
+                prototypes[concept, class_idx, informative] = (
+                    setup_rng.uniform(0.1, 0.9, size=len(informative))
                 )
-        self._prototypes = prototypes
         # Fixed per-feature loadings on a shared latent factor: the noise of
         # all features co-moves, emulating the correlated columns of real
         # tabular data (and breaking feature-independence assumptions).
-        self._factor_loadings = setup_rng.choice([-1.0, 1.0], size=self.n_features)
+        loadings = setup_rng.choice([-1.0, 1.0], size=self.n_features)
+        self._concept = {
+            "informative": informative,
+            "prototypes": prototypes,
+            "loadings": loadings,
+        }
+        return self._concept
+
+    def _blend_weights(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-index (lower concept, upper concept, blend) of the drift path."""
+        prototypes = self._concept_draws()["prototypes"]
+        fractions = np.asarray(indices, dtype=float) / self.n_samples
+        zeros = np.zeros(len(fractions))
+        if self.drift == "none" or len(prototypes) == 1:
+            lower = np.zeros(len(fractions), dtype=int)
+            return lower, lower, zeros
+        if self.drift == "abrupt":
+            concept = np.minimum(
+                (fractions * (self.n_drift_events + 1)).astype(int),
+                self.n_drift_events,
+            )
+            return concept, concept, zeros
+        if self.drift == "incremental":
+            n_segments = len(prototypes) - 1
+            position = fractions * n_segments
+            lower = np.minimum(position.astype(int), n_segments - 1)
+            return lower, lower + 1, position - lower
+        # Cyclic drift: oscillate between the two prototype sets.
+        cycles = max(self.n_drift_events, 1)
+        blend = 0.5 * (1.0 + np.sin(2.0 * np.pi * cycles * fractions))
+        lower = np.zeros(len(fractions), dtype=int)
+        return lower, lower + 1, blend
 
     def prototype_at(self, index: int) -> np.ndarray:
         """Class prototypes active at stream position ``index``."""
-        fraction = index / self.n_samples
-        if self.drift == "none" or len(self._prototypes) == 1:
-            return self._prototypes[0]
-        if self.drift == "abrupt":
-            concept = min(
-                int(fraction * (self.n_drift_events + 1)), self.n_drift_events
-            )
-            return self._prototypes[concept]
-        if self.drift == "incremental":
-            n_segments = len(self._prototypes) - 1
-            position = fraction * n_segments
-            lower = min(int(position), n_segments - 1)
-            blend = position - lower
-            return (
-                (1.0 - blend) * self._prototypes[lower]
-                + blend * self._prototypes[lower + 1]
-            )
-        # Cyclic drift: oscillate between the two prototype sets.
-        cycles = max(self.n_drift_events, 1)
-        blend = 0.5 * (1.0 + np.sin(2.0 * np.pi * cycles * fraction))
-        return (1.0 - blend) * self._prototypes[0] + blend * self._prototypes[1]
-
-    def restart(self) -> "SurrogateStream":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
+        prototypes = self._concept_draws()["prototypes"]
+        lower, upper, blend = self._blend_weights(np.array([index]))
+        return (
+            (1.0 - blend[0]) * prototypes[lower[0]]
+            + blend[0] * prototypes[upper[0]]
+        )
 
     # ------------------------------------------------------------- sampling
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        rng = self._rng
+    def _generate_block(self, rng, start, count, state):
+        concept = self._concept_draws()
+        prototypes = concept["prototypes"]
         y = rng.choice(self.n_classes, size=count, p=self.class_weights)
-        X = np.empty((count, self.n_features))
-        independent_scale = np.sqrt(1.0 - self.correlation)
-        shared_scale = np.sqrt(self.correlation)
-        for offset in range(count):
-            prototypes = self.prototype_at(start + offset)
-            independent = rng.normal(0.0, 1.0, size=self.n_features)
-            shared = rng.normal(0.0, 1.0)
-            noise = self.noise_std * (
-                independent_scale * independent
-                + shared_scale * shared * self._factor_loadings
-            )
-            X[offset] = prototypes[y[offset]] + noise
+        independent = rng.normal(0.0, 1.0, size=(count, self.n_features))
+        shared = rng.normal(0.0, 1.0, size=count)
+        lower, upper, blend = self._blend_weights(np.arange(start, start + count))
+        blend = blend[:, None]
+        proto_rows = (
+            (1.0 - blend) * prototypes[lower, y] + blend * prototypes[upper, y]
+        )
+        noise = self.noise_std * (
+            np.sqrt(1.0 - self.correlation) * independent
+            + np.sqrt(self.correlation) * shared[:, None] * concept["loadings"]
+        )
+        X = proto_rows + noise
         np.clip(X, 0.0, 1.0, out=X)
-        return X, y
+        return X, y, None
 
 
 def make_surrogate(

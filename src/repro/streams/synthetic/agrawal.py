@@ -13,81 +13,115 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream
+from repro.utils.validation import check_in_range
+
+
+def _between(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    return (low <= values) & (values <= high)
+
+
+def _classify_vec(function_id: int, records: np.ndarray) -> np.ndarray:
+    """Vectorised Agrawal function: records ``(n, 9)`` -> labels ``(n,)``.
+
+    Columns are (salary, commission, age, elevel, car, zipcode, hvalue,
+    hyears, loan) in this order.
+    """
+    salary = records[:, 0]
+    commission = records[:, 1]
+    age = records[:, 2]
+    elevel = records[:, 3]
+    hvalue = records[:, 6]
+    hyears = records[:, 7]
+    loan = records[:, 8]
+    young, middle = age < 40, age < 60
+    if function_id == 0:
+        approved = young | (age >= 60)
+    elif function_id == 1:
+        approved = np.select(
+            [young, middle],
+            [_between(salary, 50_000, 100_000), _between(salary, 75_000, 125_000)],
+            default=_between(salary, 25_000, 75_000),
+        )
+    elif function_id == 2:
+        approved = np.select(
+            [young, middle],
+            [np.isin(elevel, (0, 1)), np.isin(elevel, (1, 2, 3))],
+            default=np.isin(elevel, (2, 3, 4)),
+        )
+    elif function_id == 3:
+        approved = np.select(
+            [young, middle],
+            [
+                np.where(
+                    np.isin(elevel, (0, 1)),
+                    _between(salary, 25_000, 75_000),
+                    _between(salary, 50_000, 100_000),
+                ),
+                np.where(
+                    np.isin(elevel, (1, 2, 3)),
+                    _between(salary, 50_000, 100_000),
+                    _between(salary, 75_000, 125_000),
+                ),
+            ],
+            default=np.where(
+                np.isin(elevel, (2, 3, 4)),
+                _between(salary, 50_000, 100_000),
+                _between(salary, 25_000, 75_000),
+            ),
+        )
+    elif function_id == 4:
+        approved = np.select(
+            [young, middle],
+            [
+                np.where(
+                    _between(salary, 50_000, 100_000),
+                    _between(loan, 100_000, 300_000),
+                    _between(loan, 200_000, 400_000),
+                ),
+                np.where(
+                    _between(salary, 75_000, 125_000),
+                    _between(loan, 200_000, 400_000),
+                    _between(loan, 300_000, 500_000),
+                ),
+            ],
+            default=np.where(
+                _between(salary, 25_000, 75_000),
+                _between(loan, 300_000, 500_000),
+                _between(loan, 100_000, 300_000),
+            ),
+        )
+    elif function_id == 5:
+        total = salary + commission
+        approved = np.select(
+            [young, middle],
+            [_between(total, 50_000, 100_000), _between(total, 75_000, 125_000)],
+            default=_between(total, 25_000, 75_000),
+        )
+    elif function_id == 6:
+        approved = 0.67 * (salary + commission) - 0.2 * loan - 20_000 > 0
+    elif function_id == 7:
+        approved = 0.67 * (salary + commission) - 5_000 * elevel - 20_000 > 0
+    elif function_id == 8:
+        approved = (
+            0.67 * (salary + commission) - 5_000 * elevel - 0.2 * loan - 10_000 > 0
+        )
+    elif function_id == 9:
+        equity = np.where(hyears >= 20, 0.1 * hvalue * (hyears - 20), 0.0)
+        approved = (
+            0.67 * (salary + commission) - 5_000 * elevel + 0.2 * equity - 10_000 > 0
+        )
+    else:
+        raise ValueError(f"Unknown Agrawal function id {function_id!r}.")
+    return np.where(approved, 0, 1)
 
 
 def _classify(function_id: int, record: np.ndarray) -> int:
-    """Apply one of the ten Agrawal functions to a record.
-
-    ``record`` holds (salary, commission, age, elevel, car, zipcode, hvalue,
-    hyears, loan) in this order.
-    """
-    salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan = record
-    if function_id == 0:
-        return 0 if (age < 40 or age >= 60) else 1
-    if function_id == 1:
-        if age < 40:
-            return 0 if 50_000 <= salary <= 100_000 else 1
-        if age < 60:
-            return 0 if 75_000 <= salary <= 125_000 else 1
-        return 0 if 25_000 <= salary <= 75_000 else 1
-    if function_id == 2:
-        if age < 40:
-            return 0 if elevel in (0, 1) else 1
-        if age < 60:
-            return 0 if elevel in (1, 2, 3) else 1
-        return 0 if elevel in (2, 3, 4) else 1
-    if function_id == 3:
-        if age < 40:
-            if elevel in (0, 1):
-                return 0 if 25_000 <= salary <= 75_000 else 1
-            return 0 if 50_000 <= salary <= 100_000 else 1
-        if age < 60:
-            if elevel in (1, 2, 3):
-                return 0 if 50_000 <= salary <= 100_000 else 1
-            return 0 if 75_000 <= salary <= 125_000 else 1
-        if elevel in (2, 3, 4):
-            return 0 if 50_000 <= salary <= 100_000 else 1
-        return 0 if 25_000 <= salary <= 75_000 else 1
-    if function_id == 4:
-        if age < 40:
-            if 50_000 <= salary <= 100_000:
-                return 0 if 100_000 <= loan <= 300_000 else 1
-            return 0 if 200_000 <= loan <= 400_000 else 1
-        if age < 60:
-            if 75_000 <= salary <= 125_000:
-                return 0 if 200_000 <= loan <= 400_000 else 1
-            return 0 if 300_000 <= loan <= 500_000 else 1
-        if 25_000 <= salary <= 75_000:
-            return 0 if 300_000 <= loan <= 500_000 else 1
-        return 0 if 100_000 <= loan <= 300_000 else 1
-    if function_id == 5:
-        total = salary + commission
-        if age < 40:
-            return 0 if 50_000 <= total <= 100_000 else 1
-        if age < 60:
-            return 0 if 75_000 <= total <= 125_000 else 1
-        return 0 if 25_000 <= total <= 75_000 else 1
-    if function_id == 6:
-        disposable = 0.67 * (salary + commission) - 0.2 * loan - 20_000
-        return 0 if disposable > 0 else 1
-    if function_id == 7:
-        disposable = 0.67 * (salary + commission) - 5_000 * elevel - 20_000
-        return 0 if disposable > 0 else 1
-    if function_id == 8:
-        disposable = 0.67 * (salary + commission) - 5_000 * elevel - 0.2 * loan - 10_000
-        return 0 if disposable > 0 else 1
-    if function_id == 9:
-        equity = 0.0
-        if hyears >= 20:
-            equity = 0.1 * hvalue * (hyears - 20)
-        disposable = 0.67 * (salary + commission) - 5_000 * elevel + 0.2 * equity - 10_000
-        return 0 if disposable > 0 else 1
-    raise ValueError(f"Unknown Agrawal function id {function_id!r}.")
+    """Apply one of the ten Agrawal functions to a single record."""
+    return int(_classify_vec(function_id, np.asarray(record, dtype=float)[None, :])[0])
 
 
-class AgrawalGenerator(Stream):
+class AgrawalGenerator(SeededStream):
     """Agrawal loan-application stream with incremental drift.
 
     Parameters
@@ -128,7 +162,7 @@ class AgrawalGenerator(Stream):
         ),
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=9, n_classes=2)
+        super().__init__(n_samples=n_samples, n_features=9, n_classes=2, seed=seed)
         check_in_range(perturbation, "perturbation", 0.0, 1.0)
         if not 0 <= classification_function <= 9:
             raise ValueError(
@@ -145,64 +179,62 @@ class AgrawalGenerator(Stream):
                 raise ValueError(
                     f"Invalid drift window ({start!r}, {end!r})."
                 )
-        self.seed = seed
-        self._rng = check_random_state(seed)
-
-    def restart(self) -> "AgrawalGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
 
     # ----------------------------------------------------------- concepts
+    def _blend_at(self, fractions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised (current function, blend probability) per fraction."""
+        offsets = np.zeros(len(fractions), dtype=int)
+        blend = np.zeros(len(fractions))
+        for start, end in self.drift_windows:
+            offsets += fractions >= end
+            inside = (fractions >= start) & (fractions < end)
+            blend[inside] = (fractions[inside] - start) / (end - start)
+        current = (self.classification_function + offsets) % 10
+        return current, blend
+
     def active_functions(self, index: int) -> tuple[int, int, float]:
         """Return (current function, next function, blend probability)."""
-        fraction = index / self.n_samples
-        function_offset = 0
-        for start, end in self.drift_windows:
-            if fraction >= end:
-                function_offset += 1
-        current = (self.classification_function + function_offset) % 10
-        for start, end in self.drift_windows:
-            if start <= fraction < end:
-                blend = (fraction - start) / (end - start)
-                return current, (current + 1) % 10, float(blend)
-        return current, current, 0.0
+        current, blend = self._blend_at(np.array([index / self.n_samples]))
+        if blend[0] > 0:
+            return int(current[0]), int((current[0] + 1) % 10), float(blend[0])
+        return int(current[0]), int(current[0]), 0.0
 
     # ----------------------------------------------------------- sampling
-    def _sample_record(self) -> np.ndarray:
-        rng = self._rng
-        salary = rng.uniform(20_000.0, 150_000.0)
-        commission = 0.0 if salary >= 75_000.0 else rng.uniform(10_000.0, 75_000.0)
-        age = rng.uniform(20.0, 80.0)
-        elevel = float(rng.integers(0, 5))
-        car = float(rng.integers(1, 21))
-        zipcode = float(rng.integers(0, 9))
-        hvalue = (9.0 - zipcode) * 100_000.0 * rng.uniform(0.5, 1.5)
-        hyears = rng.uniform(1.0, 30.0)
-        loan = rng.uniform(0.0, 500_000.0)
-        return np.array(
+    def _sample_records(self, rng, count: int) -> np.ndarray:
+        salary = rng.uniform(20_000.0, 150_000.0, size=count)
+        commission = rng.uniform(10_000.0, 75_000.0, size=count)
+        commission = np.where(salary >= 75_000.0, 0.0, commission)
+        age = rng.uniform(20.0, 80.0, size=count)
+        elevel = rng.integers(0, 5, size=count).astype(float)
+        car = rng.integers(1, 21, size=count).astype(float)
+        zipcode = rng.integers(0, 9, size=count).astype(float)
+        hvalue = (9.0 - zipcode) * 100_000.0 * rng.uniform(0.5, 1.5, size=count)
+        hyears = rng.uniform(1.0, 30.0, size=count)
+        loan = rng.uniform(0.0, 500_000.0, size=count)
+        return np.column_stack(
             [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan]
         )
 
-    def _perturb(self, record: np.ndarray) -> np.ndarray:
+    def _perturb(self, rng, records: np.ndarray) -> np.ndarray:
         if self.perturbation <= 0:
-            return record
-        perturbed = record.copy()
-        for column, (low, high) in self._NUMERIC_RANGES.items():
-            span = high - low
-            noise = self._rng.uniform(-1.0, 1.0) * self.perturbation * span
-            perturbed[column] = np.clip(perturbed[column] + noise, low, high)
+            return records
+        perturbed = records.copy()
+        columns = list(self._NUMERIC_RANGES)
+        bounds = np.array([self._NUMERIC_RANGES[col] for col in columns])
+        spans = bounds[:, 1] - bounds[:, 0]
+        noise = rng.uniform(-1.0, 1.0, size=(len(records), len(columns)))
+        values = perturbed[:, columns] + noise * self.perturbation * spans
+        perturbed[:, columns] = np.clip(values, bounds[:, 0], bounds[:, 1])
         return perturbed
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = np.empty((count, self.n_features))
+    def _generate_block(self, rng, start, count, state):
+        records = self._sample_records(rng, count)
+        fractions = np.arange(start, start + count) / self.n_samples
+        current, blend = self._blend_at(fractions)
+        switched = (blend > 0) & (rng.random(count) < blend)
+        function_ids = np.where(switched, (current + 1) % 10, current)
         y = np.empty(count, dtype=int)
-        for offset in range(count):
-            record = self._sample_record()
-            current, upcoming, blend = self.active_functions(start + offset)
-            function_id = (
-                upcoming if blend > 0 and self._rng.random() < blend else current
-            )
-            y[offset] = _classify(function_id, record)
-            X[offset] = self._perturb(record)
-        return X, y
+        for function_id in np.unique(function_ids):
+            mask = function_ids == function_id
+            y[mask] = _classify_vec(int(function_id), records[mask])
+        return self._perturb(rng, records), y, None

@@ -5,17 +5,60 @@ given position using the sigmoid transition of MOA / scikit-multiflow: before
 the transition window observations come from the base stream, afterwards from
 the drift stream, and inside the window the choice is random with a smoothly
 increasing probability.  A transition width of zero yields abrupt drift.
+
+The blend is *index-aligned*: row ``i`` of the combined stream is row ``i``
+(modulo the child length) of whichever child the sigmoid coin picks, so the
+composition stays a pure function of the stream position -- chunk-invariant
+and restart-deterministic like every other :class:`SeededStream`.  Child
+streams are read through their pure ``_generate`` and never consumed, so the
+same child instances can be shared by several compositions.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_random_state
+from repro.streams.base import SeededStream, Stream
 
 
-class ConceptDriftStream(Stream):
+def drift_sigmoid(offsets: np.ndarray, width: float) -> np.ndarray:
+    """MOA's sigmoid hand-over probability.
+
+    ``offsets`` are signed distances to the transition centre in the same
+    unit as ``width`` (samples here, stream fractions in
+    :class:`~repro.streams.scenarios.DriftInjector`).  The single source of
+    the ``1 / (1 + exp(-4 d / w))`` formula; keep the scalar fast path
+    ``DriftInjector._gradual_probability`` in sync when changing it.
+    """
+    exponent = -4.0 * np.asarray(offsets, dtype=float) / width
+    return 1.0 / (1.0 + np.exp(np.clip(exponent, -500.0, 500.0)))
+
+
+def wrapped_rows(stream: Stream, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
+    """Rows ``[start, start + count)`` of a child stream, wrapping modulo its
+    length (the composed stream may be longer than its children).
+
+    Reads through :meth:`Stream.peek_rows`, so the result may alias the
+    child's block cache -- treat it as read-only.
+    """
+    n = stream.n_samples
+    X_parts: list[np.ndarray] = []
+    y_parts: list[np.ndarray] = []
+    position = start % n
+    remaining = count
+    while remaining > 0:
+        take = min(remaining, n - position)
+        X_part, y_part = stream.peek_rows(position, take)
+        X_parts.append(X_part)
+        y_parts.append(y_part)
+        position = 0
+        remaining -= take
+    if len(X_parts) == 1:
+        return X_parts[0], y_parts[0]
+    return np.concatenate(X_parts), np.concatenate(y_parts)
+
+
+class ConceptDriftStream(SeededStream):
     """Blend two streams to create a single stream with one concept drift.
 
     Parameters
@@ -53,6 +96,7 @@ class ConceptDriftStream(Stream):
             n_samples=total,
             n_features=base_stream.n_features,
             n_classes=base_stream.n_classes,
+            seed=seed,
         )
         if not 0 <= position <= total:
             raise ValueError(f"position must be in [0, {total}], got {position!r}.")
@@ -62,38 +106,33 @@ class ConceptDriftStream(Stream):
         self.drift_stream = drift_stream
         self.drift_position = int(position)
         self.width = max(int(width), 1)
-        self.seed = seed
-        self._rng = check_random_state(seed)
 
-    def restart(self) -> "ConceptDriftStream":
-        super().restart()
-        self.base_stream.restart()
-        self.drift_stream.restart()
-        self._rng = check_random_state(self.seed)
-        return self
+    def drift_probabilities(self, indices: np.ndarray) -> np.ndarray:
+        """Probability of drawing from the drift stream at each position."""
+        return drift_sigmoid(
+            np.asarray(indices, dtype=float) - self.drift_position, self.width
+        )
 
     def drift_probability(self, index: int) -> float:
         """Probability of drawing from the drift stream at position ``index``."""
-        exponent = -4.0 * (index - self.drift_position) / self.width
-        exponent = np.clip(exponent, -500.0, 500.0)
-        return float(1.0 / (1.0 + np.exp(exponent)))
+        return float(self.drift_probabilities(np.array([index]))[0])
 
-    def _draw_from(self, stream: Stream) -> tuple[np.ndarray, np.ndarray]:
-        if not stream.has_more_samples():
-            stream.restart()
-        return stream.next_sample(1)
-
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = np.empty((count, self.n_features))
-        y = np.empty(count, dtype=int)
-        for offset in range(count):
-            probability = self.drift_probability(start + offset)
-            source = (
-                self.drift_stream
-                if self._rng.random() < probability
-                else self.base_stream
-            )
-            X_one, y_one = self._draw_from(source)
-            X[offset] = X_one[0]
-            y[offset] = y_one[0]
-        return X, y
+    def _generate_block(self, rng, start, count, state):
+        probabilities = self.drift_probabilities(np.arange(start, start + count))
+        if probabilities.max() < 1e-15:
+            from_drift = np.zeros(count, dtype=bool)
+        elif probabilities.min() > 1.0 - 1e-15:
+            from_drift = np.ones(count, dtype=bool)
+        else:
+            from_drift = rng.random(count) < probabilities
+        if not from_drift.any():
+            X, y = wrapped_rows(self.base_stream, start, count)
+            return X, y, None
+        if from_drift.all():
+            X, y = wrapped_rows(self.drift_stream, start, count)
+            return X, y, None
+        X_base, y_base = wrapped_rows(self.base_stream, start, count)
+        X_drift, y_drift = wrapped_rows(self.drift_stream, start, count)
+        X = np.where(from_drift[:, None], X_drift, X_base)
+        y = np.where(from_drift, y_drift, y_base)
+        return X, y, None

@@ -5,17 +5,23 @@ side of a hyperplane the observation falls.  A subset of the hyperplane
 weights drifts by a small magnitude after every sample, producing continuous
 incremental concept drift over the whole stream -- the setting the paper uses
 with 50 features and 10% label noise.
+
+The weight trajectory is a sequential random walk, so this generator uses
+the stateful block machinery of :class:`~repro.streams.base.SeededStream`:
+direction reversals are drawn per block and the weight evolution inside a
+block is computed with cumulative products/sums (no per-row Python loop),
+with block-boundary states cached for chunk-invariant consumption.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream
+from repro.utils.validation import check_in_range
 
 
-class HyperplaneGenerator(Stream):
+class HyperplaneGenerator(SeededStream):
     """Rotating-hyperplane stream with incremental drift.
 
     Parameters
@@ -38,6 +44,8 @@ class HyperplaneGenerator(Stream):
         Random seed.
     """
 
+    stateful = True
+
     def __init__(
         self,
         n_samples: int = 500_000,
@@ -48,7 +56,9 @@ class HyperplaneGenerator(Stream):
         sigma: float = 0.1,
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=n_features, n_classes=2)
+        super().__init__(
+            n_samples=n_samples, n_features=n_features, n_classes=2, seed=seed
+        )
         if n_drift_features is None:
             n_drift_features = min(10, n_features)
         if not 0 <= n_drift_features <= n_features:
@@ -62,45 +72,79 @@ class HyperplaneGenerator(Stream):
         self.magnitude = float(magnitude)
         self.noise = float(noise)
         self.sigma = float(sigma)
-        self.seed = seed
-        self._rng = check_random_state(seed)
-        self._init_concept()
 
-    def _init_concept(self) -> None:
-        self._weights = self._rng.uniform(0.0, 1.0, size=self.n_features)
-        self._directions = np.ones(self.n_features)
+    # ------------------------------------------------------------- concepts
+    @property
+    def _drifting(self) -> bool:
+        return self.n_drift_features > 0 and self.magnitude != 0.0
 
-    def restart(self) -> "HyperplaneGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        self._init_concept()
-        return self
+    def _initial_state(self):
+        weights = self.setup_rng().uniform(0.0, 1.0, size=self.n_features)
+        return weights, np.ones(self.n_features)
+
+    def _weight_trajectory(
+        self, reverse: np.ndarray, state
+    ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """Per-row weight matrix for one block plus the end-of-block state.
+
+        Row ``t`` holds the weights used to label sample ``t``; the drift
+        step (weight nudge + possible direction reversal) applies *after*
+        each sample, matching the published per-sample dynamics.
+        """
+        weights0, directions0 = state
+        count, n_drift = reverse.shape
+        W = np.broadcast_to(weights0, (count, self.n_features)).copy()
+        signs = np.where(reverse, -1.0, 1.0)
+        cumulative = np.cumprod(signs, axis=0)
+        d0 = directions0[:n_drift]
+        per_row_directions = np.vstack([d0, d0 * cumulative[:-1]])
+        travelled = np.vstack(
+            [np.zeros(n_drift), np.cumsum(per_row_directions, axis=0)[:-1]]
+        )
+        W[:, :n_drift] = weights0[:n_drift] + self.magnitude * travelled
+        end_weights = weights0.copy()
+        end_weights[:n_drift] += self.magnitude * per_row_directions.sum(axis=0)
+        end_directions = directions0.copy()
+        end_directions[:n_drift] = d0 * cumulative[-1]
+        return W, (end_weights, end_directions)
+
+    def weights_at(self, index: int) -> np.ndarray:
+        """Hyperplane weights in effect at stream position ``index``."""
+        if not 0 <= index <= self.n_samples:
+            raise ValueError(f"index must be in [0, {self.n_samples}], got {index!r}.")
+        block, offset = divmod(index, self.block_size)
+        state = self._state_for_block(block)
+        weights0, _ = state
+        if offset == 0 or not self._drifting:
+            return weights0.copy()
+        rng = self.block_rng(block)
+        count = self._block_row_count(block)
+        rng.uniform(0.0, 1.0, size=(count, self.n_features))  # skip the X draws
+        reverse = rng.random((count, self.n_drift_features)) < self.sigma
+        W, (end_weights, _) = self._weight_trajectory(reverse, state)
+        if offset >= count:  # index == n_samples inside a partial final block
+            return end_weights.copy()
+        return W[offset].copy()
 
     @property
     def weights(self) -> np.ndarray:
-        """Current hyperplane weights (exposed for tests and examples)."""
-        return self._weights.copy()
+        """Hyperplane weights at the current stream position."""
+        return self.weights_at(self._position)
 
-    def _drift_weights(self) -> None:
-        if self.n_drift_features == 0 or self.magnitude == 0.0:
-            return
-        drifting = slice(0, self.n_drift_features)
-        self._weights[drifting] += (
-            self._directions[drifting] * self.magnitude
-        )
-        reverse = self._rng.random(self.n_drift_features) < self.sigma
-        self._directions[drifting] = np.where(
-            reverse, -self._directions[drifting], self._directions[drifting]
-        )
-
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = self._rng.uniform(0.0, 1.0, size=(count, self.n_features))
-        y = np.empty(count, dtype=int)
-        for offset in range(count):
-            threshold = 0.5 * self._weights.sum()
-            y[offset] = int(X[offset] @ self._weights >= threshold)
-            self._drift_weights()
+    # ------------------------------------------------------------- sampling
+    def _generate_block(self, rng, start, count, state):
+        X = rng.uniform(0.0, 1.0, size=(count, self.n_features))
+        if self._drifting:
+            reverse = rng.random((count, self.n_drift_features)) < self.sigma
+            W, next_state = self._weight_trajectory(reverse, state)
+            thresholds = 0.5 * W.sum(axis=1)
+            y = (np.einsum("ij,ij->i", X, W) >= thresholds).astype(int)
+        else:
+            weights0, _ = state
+            threshold = 0.5 * weights0.sum()
+            y = (X @ weights0 >= threshold).astype(int)
+            next_state = state
         if self.noise > 0:
-            flip = self._rng.random(count) < self.noise
+            flip = rng.random(count) < self.noise
             y = np.where(flip, 1 - y, y)
-        return X, y
+        return X, y, next_state

@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream, drift_offsets
+from repro.utils.validation import check_in_range
 
 # Segment patterns of the digits 0-9 (seven segments each).
 _DIGIT_SEGMENTS = np.array(
@@ -31,7 +31,7 @@ _DIGIT_SEGMENTS = np.array(
 )
 
 
-class LEDGenerator(Stream):
+class LEDGenerator(SeededStream):
     """LED digit stream with optional irrelevant attributes and drift.
 
     Parameters
@@ -59,7 +59,7 @@ class LEDGenerator(Stream):
         seed: int | None = None,
     ) -> None:
         super().__init__(
-            n_samples=n_samples, n_features=7 + n_irrelevant, n_classes=10
+            n_samples=n_samples, n_features=7 + n_irrelevant, n_classes=10, seed=seed
         )
         check_in_range(noise, "noise", 0.0, 1.0)
         if n_irrelevant < 0:
@@ -67,20 +67,12 @@ class LEDGenerator(Stream):
         self.noise = float(noise)
         self.n_irrelevant = int(n_irrelevant)
         self.drift_positions = tuple(sorted(drift_positions))
-        self.seed = seed
-        self._rng = check_random_state(seed)
-
-    def restart(self) -> "LEDGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
 
     def n_swaps_at(self, index: int) -> int:
         fraction = index / self.n_samples
         return sum(1 for position in self.drift_positions if fraction >= position)
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        rng = self._rng
+    def _generate_block(self, rng, start, count, state):
         y = rng.integers(0, 10, size=count)
         segments = _DIGIT_SEGMENTS[y].copy()
         if self.noise > 0:
@@ -89,12 +81,13 @@ class LEDGenerator(Stream):
         irrelevant = rng.integers(0, 2, size=(count, self.n_irrelevant)).astype(float)
         X = np.hstack([segments, irrelevant])
         # Abrupt drift: swap the first 7 columns with irrelevant columns.
-        if self.n_irrelevant >= 7:
-            for offset in range(count):
-                swaps = self.n_swaps_at(start + offset) % 2
-                if swaps == 1:
-                    X[offset, :7], X[offset, 7:14] = (
-                        X[offset, 7:14].copy(),
-                        X[offset, :7].copy(),
-                    )
-        return X, y
+        if self.n_irrelevant >= 7 and self.drift_positions:
+            swaps = drift_offsets(
+                self.drift_positions, np.arange(start, start + count), self.n_samples
+            )
+            swapped = swaps % 2 == 1
+            if swapped.any():
+                left = X[swapped, :7].copy()
+                X[swapped, :7] = X[swapped, 7:14]
+                X[swapped, 7:14] = left
+        return X, y, None

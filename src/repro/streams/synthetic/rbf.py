@@ -4,18 +4,25 @@ A fixed set of centroids is drawn in the unit hypercube, each with a class
 label, a weight and a standard deviation.  Observations are sampled by
 choosing a centroid proportionally to its weight and adding a random offset
 of Gaussian length.  The drifting variant moves the centroids by a constant
-speed, producing incremental drift.
+speed along fixed directions, reflecting off the hypercube walls, which
+produces incremental drift.  Centroid motion is closed-form in the stream
+position (a triangle wave), so generation is chunk-invariant and any stream
+position can be inspected without replay.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_random_state
+from repro.streams.base import SeededStream
 
 
-class RandomRBFGenerator(Stream):
+def _reflect_unit(values: np.ndarray) -> np.ndarray:
+    """Map unconstrained positions into [0, 1] by elastic wall reflection."""
+    return 1.0 - np.abs(np.mod(values, 2.0) - 1.0)
+
+
+class RandomRBFGenerator(SeededStream):
     """Random radial-basis-function stream, optionally with centroid drift.
 
     Parameters
@@ -34,6 +41,8 @@ class RandomRBFGenerator(Stream):
         Random seed.
     """
 
+    _repro_transient = SeededStream._repro_transient + ("_concept",)
+
     def __init__(
         self,
         n_samples: int = 100_000,
@@ -44,7 +53,7 @@ class RandomRBFGenerator(Stream):
         seed: int | None = None,
     ) -> None:
         super().__init__(
-            n_samples=n_samples, n_features=n_features, n_classes=n_classes
+            n_samples=n_samples, n_features=n_features, n_classes=n_classes, seed=seed
         )
         if n_centroids < 1:
             raise ValueError(f"n_centroids must be >= 1, got {n_centroids!r}.")
@@ -52,44 +61,50 @@ class RandomRBFGenerator(Stream):
             raise ValueError(f"drift_speed must be >= 0, got {drift_speed!r}.")
         self.n_centroids = int(n_centroids)
         self.drift_speed = float(drift_speed)
-        self.seed = seed
-        self._rng = check_random_state(seed)
-        self._init_centroids()
 
-    def _init_centroids(self) -> None:
-        rng = self._rng
-        self._centres = rng.uniform(0.0, 1.0, size=(self.n_centroids, self.n_features))
-        self._labels = rng.integers(0, self.n_classes, size=self.n_centroids)
-        self._stds = rng.uniform(0.05, 0.15, size=self.n_centroids)
-        weights = rng.uniform(0.0, 1.0, size=self.n_centroids)
-        self._weights = weights / weights.sum()
-        directions = rng.normal(size=(self.n_centroids, self.n_features))
-        norms = np.linalg.norm(directions, axis=1, keepdims=True)
-        self._directions = directions / np.where(norms == 0, 1.0, norms)
+    def _init_transient(self) -> None:
+        super()._init_transient()
+        self._concept: dict | None = None
 
-    def restart(self) -> "RandomRBFGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        self._init_centroids()
-        return self
+    # ------------------------------------------------------------- concepts
+    def _concept_draws(self) -> dict:
+        """Centroid origins, labels, spreads, weights and drift directions."""
+        if self._concept is None:
+            rng = self.setup_rng()
+            centres = rng.uniform(0.0, 1.0, size=(self.n_centroids, self.n_features))
+            labels = rng.integers(0, self.n_classes, size=self.n_centroids)
+            stds = rng.uniform(0.05, 0.15, size=self.n_centroids)
+            weights = rng.uniform(0.0, 1.0, size=self.n_centroids)
+            directions = rng.normal(size=(self.n_centroids, self.n_features))
+            norms = np.linalg.norm(directions, axis=1, keepdims=True)
+            self._concept = {
+                "centres": centres,
+                "labels": labels,
+                "stds": stds,
+                "weights": weights / weights.sum(),
+                "directions": directions / np.where(norms == 0, 1.0, norms),
+            }
+        return self._concept
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        rng = self._rng
-        X = np.empty((count, self.n_features))
-        y = np.empty(count, dtype=int)
-        for offset in range(count):
-            centroid = rng.choice(self.n_centroids, p=self._weights)
-            direction = rng.normal(size=self.n_features)
-            norm = np.linalg.norm(direction)
-            if norm > 0:
-                direction /= norm
-            radius = abs(rng.normal(0.0, self._stds[centroid]))
-            X[offset] = self._centres[centroid] + radius * direction
-            y[offset] = self._labels[centroid]
-            if self.drift_speed > 0:
-                self._centres += self.drift_speed * self._directions
-                out_low = self._centres < 0.0
-                out_high = self._centres > 1.0
-                self._directions[out_low | out_high] *= -1.0
-                self._centres = np.clip(self._centres, 0.0, 1.0)
-        return X, y
+    def centroids_at(self, index: int) -> np.ndarray:
+        """Centroid positions at stream position ``index`` (closed form)."""
+        concept = self._concept_draws()
+        travelled = concept["centres"] + self.drift_speed * index * concept["directions"]
+        return _reflect_unit(travelled)
+
+    # ------------------------------------------------------------- sampling
+    def _generate_block(self, rng, start, count, state):
+        concept = self._concept_draws()
+        chosen = rng.choice(self.n_centroids, size=count, p=concept["weights"])
+        offsets = rng.normal(size=(count, self.n_features))
+        norms = np.linalg.norm(offsets, axis=1, keepdims=True)
+        offsets /= np.where(norms == 0, 1.0, norms)
+        radii = np.abs(rng.normal(0.0, 1.0, size=count)) * concept["stds"][chosen]
+        travelled = (
+            concept["centres"][chosen]
+            + self.drift_speed
+            * np.arange(start, start + count)[:, None]
+            * concept["directions"][chosen]
+        )
+        X = _reflect_unit(travelled) + radii[:, None] * offsets
+        return X, concept["labels"][chosen].astype(int), None

@@ -12,13 +12,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream, drift_offsets
+from repro.utils.validation import check_in_range
 
-_SEA_THRESHOLDS = (8.0, 9.0, 7.0, 9.5)
+_SEA_THRESHOLDS = np.array([8.0, 9.0, 7.0, 9.5])
 
 
-class SEAGenerator(Stream):
+class SEAGenerator(SeededStream):
     """SEA concepts stream with abrupt drift.
 
     Parameters
@@ -30,6 +30,10 @@ class SEAGenerator(Stream):
     drift_positions:
         Fractions of the stream at which the active concept switches to the
         next threshold.  The default matches the paper's schedule.
+    initial_concept:
+        Index (0-3) of the threshold active at the start of the stream;
+        lets two SEA streams with different concepts be combined into
+        drift scenarios.
     seed:
         Random seed.
     """
@@ -39,41 +43,39 @@ class SEAGenerator(Stream):
         n_samples: int = 1_000_000,
         noise: float = 0.1,
         drift_positions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+        initial_concept: int = 0,
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=3, n_classes=2)
+        super().__init__(n_samples=n_samples, n_features=3, n_classes=2, seed=seed)
         check_in_range(noise, "noise", 0.0, 1.0)
         for position in drift_positions:
             check_in_range(position, "drift_positions", 0.0, 1.0)
+        if not 0 <= initial_concept < len(_SEA_THRESHOLDS):
+            raise ValueError(
+                f"initial_concept must be in 0..{len(_SEA_THRESHOLDS) - 1}, "
+                f"got {initial_concept!r}."
+            )
         self.noise = float(noise)
         self.drift_positions = tuple(sorted(drift_positions))
-        self.seed = seed
-        self._rng = check_random_state(seed)
+        self.initial_concept = int(initial_concept)
 
-    def restart(self) -> "SEAGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
+    def concepts_at(self, indices: np.ndarray) -> np.ndarray:
+        """Active concept index for every stream position in ``indices``."""
+        switches = drift_offsets(self.drift_positions, indices, self.n_samples)
+        return (self.initial_concept + switches) % len(_SEA_THRESHOLDS)
 
     def concept_at(self, index: int) -> int:
         """Index of the active concept (threshold) at stream position ``index``."""
-        fraction = index / self.n_samples
-        concept = 0
-        for position in self.drift_positions:
-            if fraction >= position:
-                concept += 1
-        return concept % len(_SEA_THRESHOLDS)
+        return int(self.concepts_at(np.array([index]))[0])
 
     def threshold_at(self, index: int) -> float:
-        return _SEA_THRESHOLDS[self.concept_at(index)]
+        return float(_SEA_THRESHOLDS[self.concept_at(index)])
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = self._rng.uniform(0.0, 10.0, size=(count, 3))
-        thresholds = np.array(
-            [self.threshold_at(start + offset) for offset in range(count)]
-        )
+    def _generate_block(self, rng, start, count, state):
+        X = rng.uniform(0.0, 10.0, size=(count, 3))
+        thresholds = _SEA_THRESHOLDS[self.concepts_at(np.arange(start, start + count))]
         y = (X[:, 0] + X[:, 1] <= thresholds).astype(int)
         if self.noise > 0:
-            flip = self._rng.random(count) < self.noise
+            flip = rng.random(count) < self.noise
             y = np.where(flip, 1 - y, y)
-        return X, y
+        return X, y, None

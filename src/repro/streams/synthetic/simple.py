@@ -10,11 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_in_range, check_random_state
+from repro.streams.base import SeededStream, drift_offsets
+from repro.utils.validation import check_in_range
 
 
-class STAGGERGenerator(Stream):
+class STAGGERGenerator(SeededStream):
     """STAGGER concepts (Schlimmer & Granger, 1986).
 
     Three nominal features -- size, colour, shape -- each with three values
@@ -32,7 +32,7 @@ class STAGGERGenerator(Stream):
         drift_positions: tuple[float, ...] = (),
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=3, n_classes=2)
+        super().__init__(n_samples=n_samples, n_features=3, n_classes=2, seed=seed)
         if not 0 <= classification_function <= 2:
             raise ValueError(
                 "classification_function must be 0, 1 or 2, "
@@ -40,40 +40,35 @@ class STAGGERGenerator(Stream):
             )
         self.classification_function = int(classification_function)
         self.drift_positions = tuple(sorted(drift_positions))
-        self.seed = seed
-        self._rng = check_random_state(seed)
-
-    def restart(self) -> "STAGGERGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
 
     def concept_at(self, index: int) -> int:
-        fraction = index / self.n_samples
-        offset = sum(1 for position in self.drift_positions if fraction >= position)
-        return (self.classification_function + offset) % 3
+        offsets = drift_offsets(
+            self.drift_positions, np.array([index]), self.n_samples
+        )
+        return int((self.classification_function + offsets[0]) % 3)
 
     @staticmethod
-    def _label(concept: int, size: int, colour: int, shape: int) -> int:
-        if concept == 0:
-            return int(size == 0 and colour == 0)
-        if concept == 1:
-            return int(colour == 1 or shape == 0)
-        return int(size in (1, 2))
-
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = self._rng.integers(0, 3, size=(count, 3)).astype(float)
-        y = np.array(
+    def _labels(concepts: np.ndarray, X: np.ndarray) -> np.ndarray:
+        size, colour, shape = X[:, 0], X[:, 1], X[:, 2]
+        rules = np.stack(
             [
-                self._label(self.concept_at(start + offset), *X[offset].astype(int))
-                for offset in range(count)
-            ],
-            dtype=int,
+                (size == 0) & (colour == 0),
+                (colour == 1) | (shape == 0),
+                size >= 1,
+            ]
+        ).astype(int)
+        return rules[concepts, np.arange(len(X))]
+
+    def _generate_block(self, rng, start, count, state):
+        X = rng.integers(0, 3, size=(count, 3)).astype(float)
+        offsets = drift_offsets(
+            self.drift_positions, np.arange(start, start + count), self.n_samples
         )
-        return X, y
+        concepts = (self.classification_function + offsets) % 3
+        return X, self._labels(concepts, X), None
 
 
-class SineGenerator(Stream):
+class SineGenerator(SeededStream):
     """Sine generator (Gama et al., 2004): two uniform features, sine boundary.
 
     Four classification functions: SINE1/SINE2 and their reversed variants.
@@ -86,7 +81,7 @@ class SineGenerator(Stream):
         drift_positions: tuple[float, ...] = (),
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=2, n_classes=2)
+        super().__init__(n_samples=n_samples, n_features=2, n_classes=2, seed=seed)
         if not 0 <= classification_function <= 3:
             raise ValueError(
                 "classification_function must be in 0..3, "
@@ -94,42 +89,31 @@ class SineGenerator(Stream):
             )
         self.classification_function = int(classification_function)
         self.drift_positions = tuple(sorted(drift_positions))
-        self.seed = seed
-        self._rng = check_random_state(seed)
-
-    def restart(self) -> "SineGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
 
     def concept_at(self, index: int) -> int:
-        fraction = index / self.n_samples
-        offset = sum(1 for position in self.drift_positions if fraction >= position)
-        return (self.classification_function + offset) % 4
+        offsets = drift_offsets(
+            self.drift_positions, np.array([index]), self.n_samples
+        )
+        return int((self.classification_function + offsets[0]) % 4)
 
     @staticmethod
-    def _label(concept: int, x1: float, x2: float) -> int:
-        if concept == 0:  # SINE1
-            return int(x2 <= np.sin(x1))
-        if concept == 1:  # reversed SINE1
-            return int(x2 > np.sin(x1))
-        if concept == 2:  # SINE2
-            return int(x2 <= 0.5 + 0.3 * np.sin(3.0 * np.pi * x1))
-        return int(x2 > 0.5 + 0.3 * np.sin(3.0 * np.pi * x1))
+    def _labels(concepts: np.ndarray, X: np.ndarray) -> np.ndarray:
+        x1, x2 = X[:, 0], X[:, 1]
+        sine1 = x2 <= np.sin(x1)
+        sine2 = x2 <= 0.5 + 0.3 * np.sin(3.0 * np.pi * x1)
+        rules = np.stack([sine1, ~sine1, sine2, ~sine2]).astype(int)
+        return rules[concepts, np.arange(len(X))]
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        X = self._rng.uniform(0.0, 1.0, size=(count, 2))
-        y = np.array(
-            [
-                self._label(self.concept_at(start + offset), X[offset, 0], X[offset, 1])
-                for offset in range(count)
-            ],
-            dtype=int,
+    def _generate_block(self, rng, start, count, state):
+        X = rng.uniform(0.0, 1.0, size=(count, 2))
+        offsets = drift_offsets(
+            self.drift_positions, np.arange(start, start + count), self.n_samples
         )
-        return X, y
+        concepts = (self.classification_function + offsets) % 4
+        return X, self._labels(concepts, X), None
 
 
-class MixedGenerator(Stream):
+class MixedGenerator(SeededStream):
     """Mixed generator (Gama et al., 2004): two boolean and two numeric features.
 
     The positive class requires at least two of three conditions: ``v`` is
@@ -145,7 +129,7 @@ class MixedGenerator(Stream):
         noise: float = 0.0,
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=4, n_classes=2)
+        super().__init__(n_samples=n_samples, n_features=4, n_classes=2, seed=seed)
         if classification_function not in (0, 1):
             raise ValueError(
                 "classification_function must be 0 or 1, "
@@ -155,21 +139,14 @@ class MixedGenerator(Stream):
         self.classification_function = int(classification_function)
         self.drift_positions = tuple(sorted(drift_positions))
         self.noise = float(noise)
-        self.seed = seed
-        self._rng = check_random_state(seed)
-
-    def restart(self) -> "MixedGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
 
     def concept_at(self, index: int) -> int:
-        fraction = index / self.n_samples
-        offset = sum(1 for position in self.drift_positions if fraction >= position)
-        return (self.classification_function + offset) % 2
+        offsets = drift_offsets(
+            self.drift_positions, np.array([index]), self.n_samples
+        )
+        return int((self.classification_function + offsets[0]) % 2)
 
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        rng = self._rng
+    def _generate_block(self, rng, start, count, state):
         v = rng.integers(0, 2, size=count)
         w = rng.integers(0, 2, size=count)
         x = rng.uniform(0.0, 1.0, size=count)
@@ -180,12 +157,13 @@ class MixedGenerator(Stream):
             + (z < 0.5 + 0.3 * np.sin(3.0 * np.pi * x)).astype(int)
         )
         base_label = (conditions >= 2).astype(int)
-        concepts = np.array(
-            [self.concept_at(start + offset) for offset in range(count)]
+        offsets = drift_offsets(
+            self.drift_positions, np.arange(start, start + count), self.n_samples
         )
+        concepts = (self.classification_function + offsets) % 2
         y = np.where(concepts == 0, base_label, 1 - base_label)
         if self.noise > 0:
             flip = rng.random(count) < self.noise
             y = np.where(flip, 1 - y, y)
         X = np.column_stack([v, w, x, z]).astype(float)
-        return X, y
+        return X, y, None

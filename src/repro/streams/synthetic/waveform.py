@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.streams.base import Stream
-from repro.utils.validation import check_random_state
+from repro.streams.base import SeededStream
 
 
 def _base_waveforms() -> np.ndarray:
@@ -21,7 +20,7 @@ def _base_waveforms() -> np.ndarray:
     return np.vstack([h1, h2, h3])
 
 
-class WaveformGenerator(Stream):
+class WaveformGenerator(SeededStream):
     """Waveform stream with 21 numeric features and 3 classes.
 
     Parameters
@@ -42,29 +41,19 @@ class WaveformGenerator(Stream):
         noise_std: float = 1.0,
         seed: int | None = None,
     ) -> None:
-        super().__init__(n_samples=n_samples, n_features=21, n_classes=3)
+        super().__init__(n_samples=n_samples, n_features=21, n_classes=3, seed=seed)
         if noise_std < 0:
             raise ValueError(f"noise_std must be >= 0, got {noise_std!r}.")
         self.noise_std = float(noise_std)
-        self.seed = seed
-        self._rng = check_random_state(seed)
         self._waveforms = _base_waveforms()
 
-    def restart(self) -> "WaveformGenerator":
-        super().restart()
-        self._rng = check_random_state(self.seed)
-        return self
-
-    def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        rng = self._rng
+    def _generate_block(self, rng, start, count, state):
         y = rng.integers(0, 3, size=count)
-        mixing = rng.uniform(0.0, 1.0, size=count)
-        X = np.empty((count, self.n_features))
-        for offset in range(count):
-            first, second = self._PAIRS[y[offset]]
-            X[offset] = (
-                mixing[offset] * self._waveforms[first]
-                + (1.0 - mixing[offset]) * self._waveforms[second]
-            )
+        mixing = rng.uniform(0.0, 1.0, size=count)[:, None]
+        pairs = np.asarray(self._PAIRS)[y]
+        X = (
+            mixing * self._waveforms[pairs[:, 0]]
+            + (1.0 - mixing) * self._waveforms[pairs[:, 1]]
+        )
         X += rng.normal(0.0, self.noise_std, size=X.shape)
-        return X, y
+        return X, y, None

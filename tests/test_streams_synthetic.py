@@ -150,9 +150,10 @@ class TestOtherGenerators:
         stream = RandomRBFGenerator(
             n_samples=2000, n_features=4, drift_speed=0.01, seed=1
         )
-        before = stream._centres.copy()
-        stream.next_sample(500)
-        assert not np.allclose(before, stream._centres)
+        assert not np.allclose(stream.centroids_at(0), stream.centroids_at(500))
+        # Positions stay inside the unit hypercube under wall reflection.
+        assert stream.centroids_at(500).min() >= 0.0
+        assert stream.centroids_at(500).max() <= 1.0
 
     def test_stagger_concepts(self):
         stream = STAGGERGenerator(n_samples=100, classification_function=0, seed=0)
