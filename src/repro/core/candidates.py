@@ -10,6 +10,18 @@ Because the number of distinct candidates can grow quickly for continuous
 features, the DMT stores only a bounded number of candidate statistics
 (default ``3 · m``) and allows a fixed fraction of them (default 50%) to be
 replaced by newly observed candidates at every time step (Section V-D).
+
+The store keeps its statistics in structure-of-arrays form (one array per
+field, candidates in insertion order), so the per-batch refresh of every
+stored candidate is a single broadcast mask matrix ``X[:, feats] <= thrs``
+followed by one ``(n, k) x (n, p)`` contraction instead of a Python loop per
+candidate.  The accumulation primitives are chosen for bit-equivalence with
+the retained per-candidate reference path (``vectorized=False``): losses and
+gradients use ``np.einsum`` (sequential accumulation over rows, exactly like
+summing the masked rows of a loss-augmented gradient matrix along axis 0)
+rather than a BLAS matmul, whose blocked partial sums differ in the last
+ulp, and the gain sweep's squared gradient norms use the same einsum loop
+order as the scalar reference in :func:`approximate_candidate_loss`.
 """
 
 from __future__ import annotations
@@ -23,7 +35,12 @@ from repro.core.gains import approximate_candidate_loss, split_gain
 
 @dataclass
 class CandidateStatistics:
-    """Accumulated left-partition statistics of one split candidate."""
+    """Accumulated left-partition statistics of one split candidate.
+
+    Used as the materialised per-candidate view of the structure-of-arrays
+    store, as the scalar reference implementation for the vectorized gain
+    sweep, and as the payload format of legacy serialized models.
+    """
 
     feature: int
     threshold: float
@@ -86,6 +103,87 @@ class CandidateStatistics:
         return split_gain(reference_loss, left_loss, right_loss)
 
 
+def augment_batch(
+    per_sample_loss: np.ndarray, per_sample_gradient: np.ndarray
+) -> np.ndarray:
+    """Gradient matrix with the per-sample loss as an extra last column.
+
+    The candidate store accumulates losses and gradients through the same
+    sequential axis-0 summation (reference path) or einsum contraction
+    (vectorized path) of this one matrix -- a separate 1-D
+    ``loss[mask].sum()`` would sum the compressed subset pairwise and drift
+    from the vectorized path in the last ulp.  The column layout (loss last)
+    is a contract between this function, :meth:`CandidateManager.update_stored`
+    and :meth:`DMTNode.update_statistics`.
+    """
+    return np.concatenate(
+        [per_sample_gradient, per_sample_loss[:, None]], axis=1
+    )
+
+
+def candidate_gain_sweep(
+    losses: np.ndarray,
+    gradients: np.ndarray,
+    counts: np.ndarray,
+    node_loss: float,
+    node_gradient: np.ndarray,
+    node_count: float,
+    learning_rate: float,
+    reference_loss: float | None = None,
+    assume_counts_positive: bool = False,
+) -> np.ndarray:
+    """Gains of all candidates in one sweep -- equations (3), (4) and (7).
+
+    Bit-identical to calling :meth:`CandidateStatistics.gain` per candidate:
+    the squared gradient norms use the same einsum accumulation order as the
+    scalar reference, everything else is elementwise.
+    ``assume_counts_positive`` skips the empty-subset guard on the left
+    child; the candidate store guarantees it (candidates are only admitted
+    with observations and counts never decrease).
+    """
+    if reference_loss is None:
+        reference_loss = node_loss
+    if len(losses) == 0:
+        return np.zeros(0)
+    left_norms = np.einsum("kp,kp->k", gradients, gradients)
+    right_gradients = node_gradient - gradients
+    right_norms = np.einsum("kp,kp->k", right_gradients, right_gradients)
+
+    if assume_counts_positive or (counts > 0).all():
+        # Common case (every stored/fresh candidate has observations):
+        # skip the empty-subset guards, saving several temporaries per sweep.
+        left_losses = np.maximum(
+            losses - (learning_rate / counts) * left_norms, 0.0
+        )
+    else:
+        positive = counts > 0
+        safe_counts = np.where(positive, counts, 1.0)
+        left_losses = np.where(
+            positive,
+            np.maximum(losses - (learning_rate / safe_counts) * left_norms, 0.0),
+            losses,
+        )
+    right_counts = node_count - counts
+    right_subset_losses = node_loss - losses
+    right_positive = right_counts > 0
+    if right_positive.all():
+        right_losses = np.maximum(
+            right_subset_losses - (learning_rate / right_counts) * right_norms,
+            0.0,
+        )
+    else:
+        safe_right = np.where(right_positive, right_counts, 1.0)
+        right_losses = np.where(
+            right_positive,
+            np.maximum(
+                right_subset_losses - (learning_rate / safe_right) * right_norms,
+                0.0,
+            ),
+            right_subset_losses,
+        )
+    return reference_loss - left_losses - right_losses
+
+
 class CandidateManager:
     """Bounded store of split-candidate statistics for one DMT node.
 
@@ -104,7 +202,20 @@ class CandidateManager:
         single batch.  If a batch contains more unique values, evenly spaced
         quantiles are used instead; this mirrors how practical incremental
         trees bound the candidate space for continuous features.
+    vectorized:
+        Whether batch updates and gain queries use the vectorized
+        structure-of-arrays primitives (the default) or the per-candidate
+        reference loops.  Both paths are bit-equivalent; the reference path
+        exists for verification and benchmarking.
     """
+
+    #: Pure caches skipped by the persistence encoder and rebuilt by
+    #: :meth:`_init_transient` (which also migrates legacy payloads that
+    #: stored a dict of :class:`CandidateStatistics`).
+    _repro_transient = ("_key_index",)
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -112,6 +223,7 @@ class CandidateManager:
         max_candidates: int | None = None,
         replacement_rate: float = 0.5,
         max_values_per_feature: int = 10,
+        vectorized: bool = True,
     ) -> None:
         if n_features < 1:
             raise ValueError(f"n_features must be >= 1, got {n_features}.")
@@ -134,57 +246,220 @@ class CandidateManager:
             )
         self.replacement_rate = float(replacement_rate)
         self.max_values_per_feature = int(max_values_per_feature)
-        self._candidates: dict[tuple[int, float], CandidateStatistics] = {}
+        self.vectorized = bool(vectorized)
+        self._features = np.zeros(0, dtype=np.intp)
+        self._thresholds = np.zeros(0, dtype=float)
+        self._losses = np.zeros(0, dtype=float)
+        self._counts = np.zeros(0, dtype=float)
+        self._gradients = np.zeros((0, 0), dtype=float)
+        self._init_transient()
+
+    # -------------------------------------------------------------- decoding
+    def _init_transient(self) -> None:
+        """Rebuild the key index; migrate legacy dict-of-dataclass payloads."""
+        legacy = self.__dict__.pop("_candidates", None)
+        if legacy is not None:
+            stats = list(legacy.values())
+            width = max((stat.gradient.size for stat in stats), default=0)
+            self._features = np.array(
+                [stat.feature for stat in stats], dtype=np.intp
+            )
+            self._thresholds = np.array(
+                [stat.threshold for stat in stats], dtype=float
+            )
+            self._losses = np.array([stat.loss for stat in stats], dtype=float)
+            self._counts = np.array([stat.count for stat in stats], dtype=float)
+            gradients = np.zeros((len(stats), width))
+            for row, stat in enumerate(stats):
+                if stat.gradient.size:
+                    gradients[row] = stat.gradient
+            self._gradients = gradients
+        self._rebuild_key_index()
+
+    def _rebuild_key_index(self) -> None:
+        """Re-establish the keys-mirror-arrays invariant after any mutation."""
+        self._key_index = {
+            (int(feature), float(threshold)): index
+            for index, (feature, threshold) in enumerate(
+                zip(self._features, self._thresholds)
+            )
+        }
 
     # ------------------------------------------------------------ accessors
     def __len__(self) -> int:
-        return len(self._candidates)
+        return len(self._features)
 
     def __contains__(self, key: tuple[int, float]) -> bool:
-        return key in self._candidates
+        return (int(key[0]), float(key[1])) in self._key_index
 
     @property
     def candidates(self) -> list[CandidateStatistics]:
-        return list(self._candidates.values())
+        return [self._materialize(index) for index in range(len(self))]
 
     def get(self, key: tuple[int, float]) -> CandidateStatistics | None:
-        return self._candidates.get(key)
+        index = self._key_index.get((int(key[0]), float(key[1])))
+        return None if index is None else self._materialize(index)
 
     def clear(self) -> None:
-        self._candidates.clear()
+        width = self._gradients.shape[1]
+        self._features = np.zeros(0, dtype=np.intp)
+        self._thresholds = np.zeros(0, dtype=float)
+        self._losses = np.zeros(0, dtype=float)
+        self._counts = np.zeros(0, dtype=float)
+        self._gradients = np.zeros((0, width), dtype=float)
+        self._rebuild_key_index()
+
+    def _materialize(self, index: int) -> CandidateStatistics:
+        """Per-candidate dataclass view of one row of the store (a copy)."""
+        return CandidateStatistics(
+            feature=int(self._features[index]),
+            threshold=float(self._thresholds[index]),
+            loss=float(self._losses[index]),
+            gradient=self._gradients[index].copy(),
+            count=float(self._counts[index]),
+        )
+
+    def _ensure_width(self, width: int) -> None:
+        if self._gradients.shape[1] == width:
+            return
+        if len(self._features):
+            raise ValueError(
+                f"Gradient width changed from {self._gradients.shape[1]} to "
+                f"{width} while candidates are stored."
+            )
+        self._gradients = np.zeros((0, width), dtype=float)
 
     # -------------------------------------------------------------- updates
     def propose_thresholds(self, X: np.ndarray) -> dict[int, np.ndarray]:
-        """Candidate thresholds per feature observed in the current batch."""
+        """Candidate thresholds per feature observed in the current batch.
+
+        The vectorized path batches all features through one sort and one
+        quantile interpolation (:meth:`_propose_concat`); the reference path
+        keeps the original per-feature ``np.unique``/``np.quantile`` calls.
+        Both produce bit-identical threshold values.
+        """
         X = np.asarray(X, dtype=float)
+        if self.vectorized:
+            features, thresholds = self._propose_concat(X)
+            boundaries = np.searchsorted(
+                features, np.arange(self.n_features + 1)
+            )
+            return {
+                feature: thresholds[boundaries[feature] : boundaries[feature + 1]]
+                for feature in range(self.n_features)
+            }
         proposals: dict[int, np.ndarray] = {}
+        quantiles: np.ndarray | None = None
         for feature in range(self.n_features):
             values = np.unique(X[:, feature])
             if len(values) > self.max_values_per_feature:
-                quantiles = np.linspace(0.0, 1.0, self.max_values_per_feature + 2)[
-                    1:-1
-                ]
+                if quantiles is None:
+                    quantiles = np.linspace(
+                        0.0, 1.0, self.max_values_per_feature + 2
+                    )[1:-1]
                 values = np.unique(np.quantile(values, quantiles))
             proposals[feature] = values
         return proposals
+
+    def _propose_concat(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """All proposed ``(feature, threshold)`` pairs of a batch at once.
+
+        Returns ``(features, thresholds)`` in proposal order (feature
+        ascending, thresholds ascending within a feature).  Bit-identical to
+        the per-feature ``np.unique``/``np.quantile`` reference: one shared
+        column sort replaces the per-feature sorts, consecutive-duplicate
+        masks replace ``np.unique``, and numpy's ``linear`` quantile method
+        (virtual index ``q * (n - 1)``, two-sided lerp switching to
+        ``b - diff * (1 - gamma)`` at ``gamma >= 0.5``) is replicated as one
+        batched interpolation over every capped feature.
+        """
+        n_rows, n_features = X.shape
+        sorted_columns = np.sort(X, axis=0)
+        keep = np.empty((n_rows, n_features), dtype=bool)
+        keep[:1] = True
+        np.not_equal(sorted_columns[1:], sorted_columns[:-1], out=keep[1:])
+        counts = keep.sum(axis=0)
+        # Per-feature unique values, concatenated feature-contiguously.
+        flat = sorted_columns.T[keep.T]
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        capped = np.flatnonzero(counts > self.max_values_per_feature)
+        if not len(capped):
+            features = np.repeat(
+                np.arange(n_features, dtype=np.intp), counts
+            )
+            return features, flat
+        quantiles = np.linspace(0.0, 1.0, self.max_values_per_feature + 2)[1:-1]
+        virtual = quantiles[None, :] * (counts[capped, None] - 1)
+        previous = np.floor(virtual)
+        gamma = virtual - previous
+        base = offsets[capped][:, None]
+        low = flat[base + previous.astype(np.intp)]
+        high = flat[base + np.ceil(virtual).astype(np.intp)]
+        diff = high - low
+        interpolated = low + diff * gamma
+        upper = gamma >= 0.5
+        interpolated[upper] = high[upper] - diff[upper] * (1.0 - gamma[upper])
+        keep_quantiles = np.empty_like(interpolated, dtype=bool)
+        keep_quantiles[:, :1] = True
+        np.not_equal(
+            interpolated[:, 1:], interpolated[:, :-1], out=keep_quantiles[:, 1:]
+        )
+        pieces: list[np.ndarray] = []
+        final_counts = np.empty(n_features, dtype=np.intp)
+        capped_row = {int(feature): row for row, feature in enumerate(capped)}
+        for feature in range(n_features):
+            row = capped_row.get(feature)
+            if row is None:
+                values = flat[offsets[feature] : offsets[feature + 1]]
+            else:
+                values = interpolated[row][keep_quantiles[row]]
+            pieces.append(values)
+            final_counts[feature] = len(values)
+        features = np.repeat(np.arange(n_features, dtype=np.intp), final_counts)
+        return features, np.concatenate(pieces)
 
     def update_stored(
         self,
         X: np.ndarray,
         per_sample_loss: np.ndarray,
         per_sample_gradient: np.ndarray,
+        augmented: np.ndarray | None = None,
     ) -> None:
-        """Accumulate the current batch into every stored candidate."""
+        """Accumulate the current batch into every stored candidate.
+
+        ``augmented`` optionally supplies a precomputed
+        :func:`augment_batch` matrix so one batch can feed both this method
+        and :meth:`consider_new` with a single construction.
+        """
+        if not len(self._features):
+            return
         X = np.asarray(X, dtype=float)
-        for candidate in self._candidates.values():
-            mask = X[:, candidate.feature] <= candidate.threshold
+        per_sample_loss = np.asarray(per_sample_loss, dtype=float)
+        per_sample_gradient = np.asarray(per_sample_gradient, dtype=float)
+        self._ensure_width(per_sample_gradient.shape[1])
+        if augmented is None:
+            augmented = augment_batch(per_sample_loss, per_sample_gradient)
+        if self.vectorized:
+            masks = X[:, self._features] <= self._thresholds
+            sums = np.einsum("nk,np->kp", masks.astype(float), augmented)
+            self._gradients += sums[:, :-1]
+            self._losses += sums[:, -1]
+            self._counts += masks.sum(axis=0)
+        else:
+            self._update_stored_per_candidate(X, augmented)
+
+    def _update_stored_per_candidate(
+        self, X: np.ndarray, augmented: np.ndarray
+    ) -> None:
+        """Reference implementation: one Python-loop mask per candidate."""
+        for index in range(len(self._features)):
+            mask = X[:, self._features[index]] <= self._thresholds[index]
             if not np.any(mask):
                 continue
-            candidate.add(
-                loss=float(per_sample_loss[mask].sum()),
-                gradient=per_sample_gradient[mask].sum(axis=0),
-                count=float(mask.sum()),
-            )
+            sums = augmented[mask].sum(axis=0)
+            self._losses[index] += sums[-1]
+            self._gradients[index] += sums[:-1]
+            self._counts[index] += mask.sum()
 
     def consider_new(
         self,
@@ -196,80 +471,205 @@ class CandidateManager:
         node_count: float,
         learning_rate: float,
         reference_loss: float | None = None,
+        augmented: np.ndarray | None = None,
     ) -> None:
         """Propose new candidates from the current batch and admit the best.
 
         New candidates are scored on the current batch only (their statistics
-        start from this batch, as described in Section V-D); they replace the
-        lowest-gain stored candidates, bounded by the replacement budget.
+        start from this batch, as described in Section V-D).  They fill free
+        slots first; once the store is full, a newcomer only evicts the
+        weakest stored candidate when its batch gain exceeds the gain that
+        candidate has accumulated so far, bounded by the replacement budget.
         """
         X = np.asarray(X, dtype=float)
+        per_sample_loss = np.asarray(per_sample_loss, dtype=float)
+        per_sample_gradient = np.asarray(per_sample_gradient, dtype=float)
+        self._ensure_width(per_sample_gradient.shape[1])
+        if augmented is None:
+            augmented = augment_batch(per_sample_loss, per_sample_gradient)
         batch_loss = float(per_sample_loss.sum())
         batch_gradient = per_sample_gradient.sum(axis=0)
         batch_count = float(len(per_sample_loss))
 
-        fresh: list[CandidateStatistics] = []
-        for feature, thresholds in self.propose_thresholds(X).items():
-            for threshold in thresholds:
-                key = (feature, float(threshold))
-                if key in self._candidates:
-                    continue
-                mask = X[:, feature] <= threshold
-                if not np.any(mask) or np.all(mask):
-                    # A candidate that does not separate the batch carries no
-                    # information yet.
-                    continue
-                candidate = CandidateStatistics(
-                    feature=feature, threshold=float(threshold)
-                )
-                candidate.add(
-                    loss=float(per_sample_loss[mask].sum()),
-                    gradient=per_sample_gradient[mask].sum(axis=0),
-                    count=float(mask.sum()),
-                )
-                fresh.append(candidate)
-
-        if not fresh:
+        fresh = self._propose_fresh(X, augmented)
+        if fresh is None:
             return
+        fresh_features, fresh_thresholds, fresh_losses, fresh_gradients, fresh_counts = fresh
 
-        def batch_gain(candidate: CandidateStatistics) -> float:
-            return candidate.gain(
+        if self.vectorized:
+            fresh_gains = candidate_gain_sweep(
+                fresh_losses,
+                fresh_gradients,
+                fresh_counts,
                 node_loss=batch_loss,
                 node_gradient=batch_gradient,
                 node_count=batch_count,
                 learning_rate=learning_rate,
+                assume_counts_positive=True,
+            )
+        else:
+            fresh_gains = np.array(
+                [
+                    CandidateStatistics(
+                        feature=int(fresh_features[index]),
+                        threshold=float(fresh_thresholds[index]),
+                        loss=float(fresh_losses[index]),
+                        gradient=fresh_gradients[index],
+                        count=float(fresh_counts[index]),
+                    ).gain(
+                        node_loss=batch_loss,
+                        node_gradient=batch_gradient,
+                        node_count=batch_count,
+                        learning_rate=learning_rate,
+                    )
+                    for index in range(len(fresh_features))
+                ]
             )
 
-        fresh.sort(key=batch_gain, reverse=True)
+        # Stable descending order == the stable Python sort it replaces:
+        # ties keep proposal order (feature, then threshold ascending).
+        order = np.argsort(-fresh_gains, kind="stable")
+        free_slots = max(self.max_candidates - len(self._features), 0)
+        admitted = list(order[:free_slots])
+        remaining = order[free_slots:]
 
-        free_slots = self.max_candidates - len(self._candidates)
-        for candidate in fresh[: max(free_slots, 0)]:
-            self._candidates[candidate.key] = candidate
-        fresh = fresh[max(free_slots, 0):]
-        if not fresh:
-            return
+        evicted: list[int] = []
+        if len(remaining):
+            budget = int(np.floor(self.replacement_rate * self.max_candidates))
+            if budget > 0 and len(self._features):
+                stored_gains = self._stored_gains(
+                    node_loss, node_gradient, node_count, learning_rate,
+                    reference_loss,
+                )
+                stored_order = np.argsort(stored_gains, kind="stable")
+                for newcomer, weakest in zip(remaining, stored_order):
+                    if len(evicted) >= budget:
+                        break
+                    if fresh_gains[newcomer] <= stored_gains[weakest]:
+                        # Stored gains ascend while newcomer gains descend
+                        # from here on, so no later pair can qualify either.
+                        break
+                    evicted.append(int(weakest))
+                    admitted.append(newcomer)
 
-        # Replace the weakest stored candidates, bounded by the budget.
-        budget = int(np.floor(self.replacement_rate * self.max_candidates))
-        if budget <= 0:
-            return
-        stored = sorted(
-            self._candidates.values(),
-            key=lambda cand: cand.gain(
+        if evicted:
+            keep = np.ones(len(self._features), dtype=bool)
+            keep[evicted] = False
+            self._features = self._features[keep]
+            self._thresholds = self._thresholds[keep]
+            self._losses = self._losses[keep]
+            self._counts = self._counts[keep]
+            self._gradients = self._gradients[keep]
+        if admitted:
+            self._features = np.concatenate(
+                [self._features, fresh_features[admitted]]
+            )
+            self._thresholds = np.concatenate(
+                [self._thresholds, fresh_thresholds[admitted]]
+            )
+            self._losses = np.concatenate([self._losses, fresh_losses[admitted]])
+            self._counts = np.concatenate([self._counts, fresh_counts[admitted]])
+            self._gradients = np.concatenate(
+                [self._gradients, fresh_gradients[admitted]], axis=0
+            )
+        if evicted or admitted:
+            self._rebuild_key_index()
+
+    def _propose_fresh(self, X: np.ndarray, augmented: np.ndarray):
+        """Statistics of the batch's informative, not-yet-stored candidates.
+
+        Returns ``None`` when the batch proposes nothing new, otherwise the
+        tuple ``(features, thresholds, losses, gradients, counts)`` in
+        proposal order (feature ascending, threshold ascending).
+        """
+        if self.vectorized:
+            fresh_features, fresh_thresholds = self._propose_concat(X)
+            if len(self._features):
+                # Drop proposals already stored: exact (feature, threshold)
+                # matches, the same comparison the key-dict lookup performs.
+                duplicate = (
+                    (fresh_features[:, None] == self._features)
+                    & (fresh_thresholds[:, None] == self._thresholds)
+                ).any(axis=1)
+                if duplicate.any():
+                    fresh_features = fresh_features[~duplicate]
+                    fresh_thresholds = fresh_thresholds[~duplicate]
+        else:
+            features: list[int] = []
+            thresholds: list[float] = []
+            for feature, values in self.propose_thresholds(X).items():
+                for value in values:
+                    if (feature, float(value)) in self._key_index:
+                        continue
+                    features.append(feature)
+                    thresholds.append(float(value))
+            fresh_features = np.array(features, dtype=np.intp)
+            fresh_thresholds = np.array(thresholds, dtype=float)
+        if not len(fresh_features):
+            return None
+        masks = X[:, fresh_features] <= fresh_thresholds
+        counts = masks.sum(axis=0)
+        # A candidate that does not separate the batch carries no
+        # information yet.
+        informative = (counts > 0) & (counts < len(X))
+        if not np.any(informative):
+            return None
+        fresh_features = fresh_features[informative]
+        fresh_thresholds = fresh_thresholds[informative]
+        masks = masks[:, informative]
+        counts = counts[informative]
+        if self.vectorized:
+            sums = np.einsum("nk,np->kp", masks.astype(float), augmented)
+            gradients = sums[:, :-1]
+            losses = sums[:, -1]
+        else:
+            losses = np.zeros(len(fresh_features))
+            gradients = np.zeros((len(fresh_features), augmented.shape[1] - 1))
+            for index in range(len(fresh_features)):
+                sums = augmented[masks[:, index]].sum(axis=0)
+                losses[index] = sums[-1]
+                gradients[index] = sums[:-1]
+        return (
+            fresh_features,
+            fresh_thresholds,
+            losses,
+            gradients,
+            counts.astype(float),
+        )
+
+    def _stored_gains(
+        self,
+        node_loss: float,
+        node_gradient: np.ndarray,
+        node_count: float,
+        learning_rate: float,
+        reference_loss: float | None,
+    ) -> np.ndarray:
+        """Gains of every stored candidate (vectorized sweep or reference)."""
+        if self.vectorized:
+            return candidate_gain_sweep(
+                self._losses,
+                self._gradients,
+                self._counts,
                 node_loss=node_loss,
                 node_gradient=node_gradient,
                 node_count=node_count,
                 learning_rate=learning_rate,
                 reference_loss=reference_loss,
-            ),
+                assume_counts_positive=True,
+            )
+        return np.array(
+            [
+                self._materialize(index).gain(
+                    node_loss=node_loss,
+                    node_gradient=node_gradient,
+                    node_count=node_count,
+                    learning_rate=learning_rate,
+                    reference_loss=reference_loss,
+                )
+                for index in range(len(self._features))
+            ]
         )
-        replaced = 0
-        for weakest, newcomer in zip(stored, fresh):
-            if replaced >= budget:
-                break
-            del self._candidates[weakest.key]
-            self._candidates[newcomer.key] = newcomer
-            replaced += 1
 
     # ---------------------------------------------------------------- query
     def best_candidate(
@@ -281,20 +681,28 @@ class CandidateManager:
         reference_loss: float | None = None,
         exclude: tuple[int, float] | None = None,
     ) -> tuple[CandidateStatistics | None, float]:
-        """Return the stored candidate with the highest gain and its gain."""
-        best: CandidateStatistics | None = None
-        best_gain = -np.inf
-        for candidate in self._candidates.values():
-            if exclude is not None and candidate.key == exclude:
-                continue
-            gain = candidate.gain(
-                node_loss=node_loss,
-                node_gradient=node_gradient,
-                node_count=node_count,
-                learning_rate=learning_rate,
-                reference_loss=reference_loss,
-            )
-            if gain > best_gain:
-                best_gain = gain
-                best = candidate
-        return best, best_gain
+        """Return the stored candidate with the highest gain and its gain.
+
+        Ties keep the first-inserted candidate, matching the strict ``>``
+        comparison of the per-candidate reference loop.
+        """
+        if not len(self._features):
+            return None, -np.inf
+        gains = self._stored_gains(
+            node_loss, node_gradient, node_count, learning_rate, reference_loss
+        )
+        if exclude is not None:
+            index = self._key_index.get((int(exclude[0]), float(exclude[1])))
+            if index is not None:
+                if len(self._features) == 1:
+                    return None, -np.inf
+                gains[index] = -np.inf
+        best = int(np.argmax(gains))
+        if np.isnan(gains[best]):
+            # argmax lands on a NaN whenever one exists; NaN never beats a
+            # finite gain in the scalar reference, so retry with NaNs masked.
+            gains = np.where(np.isnan(gains), -np.inf, gains)
+            best = int(np.argmax(gains))
+        if gains[best] == -np.inf:
+            return None, -np.inf
+        return self._materialize(best), float(gains[best])

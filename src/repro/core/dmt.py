@@ -49,6 +49,12 @@ class DynamicModelTree(StreamClassifier):
         a limit is useful as an operational safeguard.
     random_state:
         Seed for the random initialisation of the root model.
+    vectorized:
+        Whether training uses the vectorized hot path (structure-of-arrays
+        candidate store, fast per-observation SGD) or the per-row/
+        per-candidate reference implementations.  Both are bit-equivalent;
+        the reference path exists for verification and benchmarking
+        (``benchmarks/bench_training.py``).
 
     Examples
     --------
@@ -63,6 +69,9 @@ class DynamicModelTree(StreamClassifier):
     (5,)
     """
 
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
+
     def __init__(
         self,
         learning_rate: float = 0.05,
@@ -72,6 +81,7 @@ class DynamicModelTree(StreamClassifier):
         max_values_per_feature: int = 10,
         max_depth: int | None = None,
         random_state: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         check_positive(learning_rate, "learning_rate")
@@ -90,6 +100,7 @@ class DynamicModelTree(StreamClassifier):
         self.max_values_per_feature = int(max_values_per_feature)
         self.max_depth = max_depth
         self.random_state = random_state
+        self.vectorized = bool(vectorized)
         self._rng = check_random_state(random_state)
         self.root: DMTNode | None = None
 
@@ -108,6 +119,7 @@ class DynamicModelTree(StreamClassifier):
                 n_classes=max(self.n_classes_, 2),
                 learning_rate=self.learning_rate,
                 rng=self._rng,
+                vectorized=self.vectorized,
             )
         return DMTNode(
             model=model,
@@ -115,6 +127,7 @@ class DynamicModelTree(StreamClassifier):
             max_candidates=self.n_candidates_factor * self.n_features_,
             replacement_rate=self.replacement_rate,
             max_values_per_feature=self.max_values_per_feature,
+            vectorized=self.vectorized,
         )
 
     def partial_fit(

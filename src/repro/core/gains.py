@@ -49,7 +49,12 @@ def approximate_candidate_loss(
     if count <= 0:
         return float(parent_loss_on_subset)
     gradient_on_subset = np.asarray(gradient_on_subset, dtype=float)
-    grad_norm_sq = float(gradient_on_subset @ gradient_on_subset)
+    # einsum (sequential accumulation) instead of a BLAS dot so this scalar
+    # reference stays bit-identical to the vectorized candidate gain sweep,
+    # whose row-wise norms use the same einsum loop order.
+    grad_norm_sq = float(
+        np.einsum("i,i->", gradient_on_subset, gradient_on_subset)
+    )
     approx = parent_loss_on_subset - (learning_rate / count) * grad_norm_sq
     return max(approx, 0.0)
 

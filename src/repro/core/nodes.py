@@ -12,7 +12,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.candidates import CandidateManager, CandidateStatistics
+from repro.core.candidates import (
+    CandidateManager,
+    CandidateStatistics,
+    augment_batch,
+)
 from repro.core.gains import (
     aic_prune_threshold,
     aic_resplit_threshold,
@@ -39,6 +43,7 @@ class DMTNode:
         max_candidates: int | None,
         replacement_rate: float,
         max_values_per_feature: int,
+        vectorized: bool = True,
     ) -> None:
         self.model = model
         self.n_features = int(n_features)
@@ -50,6 +55,7 @@ class DMTNode:
             max_candidates=max_candidates,
             replacement_rate=replacement_rate,
             max_values_per_feature=max_values_per_feature,
+            vectorized=vectorized,
         )
         self.split_feature: int | None = None
         self.split_threshold: float | None = None
@@ -111,8 +117,10 @@ class DMTNode:
         stored candidate statistics with the same per-sample gradients, and
         finally trains the simple model with instance-incremental SGD.
         """
-        per_sample_loss = self.model.per_sample_negative_log_likelihood(X, y)
-        per_sample_gradient = self.model.per_sample_gradient(X, y)
+        X_aug = self.model.augment(X)
+        per_sample_loss, per_sample_gradient = (
+            self.model.per_sample_loss_and_gradient(X, y, X_aug=X_aug)
+        )
 
         batch_loss = float(per_sample_loss.sum())
         batch_gradient = per_sample_gradient.sum(axis=0)
@@ -121,7 +129,10 @@ class DMTNode:
         self.gradient = self.gradient + batch_gradient
         self.count += float(len(y))
 
-        self.candidates.update_stored(X, per_sample_loss, per_sample_gradient)
+        augmented = augment_batch(per_sample_loss, per_sample_gradient)
+        self.candidates.update_stored(
+            X, per_sample_loss, per_sample_gradient, augmented=augmented
+        )
         self.candidates.consider_new(
             X,
             per_sample_loss,
@@ -130,12 +141,13 @@ class DMTNode:
             node_gradient=self.gradient,
             node_count=self.count,
             learning_rate=learning_rate,
+            augmented=augmented,
         )
 
         # Instance-incremental SGD: one constant-learning-rate step per
         # observation, computed at the then-current weights.
         if len(y) > 0:
-            self.model.fit_incremental(X, y)
+            self.model.fit_incremental(X, y, X_aug=X_aug)
 
     # ------------------------------------------------------- split decisions
     def best_split(
@@ -202,6 +214,7 @@ class DMTNode:
             max_candidates=self.candidates.max_candidates,
             replacement_rate=self.candidates.replacement_rate,
             max_values_per_feature=self.candidates.max_values_per_feature,
+            vectorized=self.candidates.vectorized,
         )
 
     def apply_split(self, candidate: CandidateStatistics) -> None:

@@ -63,7 +63,15 @@ class IncrementalGLM:
         Standard deviation of the Gaussian weight initialisation.  The paper
         notes that random initial weights mainly affect the root node because
         all other nodes are warm-started from their parent.
+    vectorized:
+        Whether :meth:`fit_incremental` uses the fast per-observation SGD
+        path (hoisted augmentation, scalar sigmoid-dot for the binary model)
+        or the per-row reference loop.  Both are bit-equivalent; the
+        reference path exists for verification and benchmarking.
     """
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -72,6 +80,7 @@ class IncrementalGLM:
         learning_rate: float = 0.05,
         rng=None,
         init_scale: float = 0.01,
+        vectorized: bool = True,
     ) -> None:
         if n_features < 1:
             raise ValueError(f"n_features must be >= 1, got {n_features}.")
@@ -82,6 +91,7 @@ class IncrementalGLM:
         self.n_classes = int(n_classes)
         self.learning_rate = float(learning_rate)
         self.init_scale = float(init_scale)
+        self.vectorized = bool(vectorized)
         generator = check_random_state(rng)
         self.weights = generator.normal(
             0.0, self.init_scale, size=self._weight_shape()
@@ -98,26 +108,30 @@ class IncrementalGLM:
         """Number of free parameters ``k`` (used by the AIC threshold)."""
         return int(np.prod(self._weight_shape()))
 
-    def clone(self, warm_start: bool = True) -> "IncrementalGLM":
+    def clone(self, warm_start: bool = True, rng=None) -> "IncrementalGLM":
         """Return a copy of this model.
 
         With ``warm_start=True`` (the DMT default) the copy starts from the
         current weights, which is how child nodes inherit their parent's
-        parameters.
+        parameters.  With ``warm_start=False`` the copy draws fresh initial
+        weights from ``rng``; pass a seed or generator to make the cold
+        start reproducible (an unseeded generator is used otherwise).
         """
         copy = IncrementalGLM(
             n_features=self.n_features,
             n_classes=self.n_classes,
             learning_rate=self.learning_rate,
+            rng=rng,
             init_scale=self.init_scale,
+            vectorized=self.vectorized,
         )
         if warm_start:
             copy.weights = self.weights.copy()
         return copy
 
     # ----------------------------------------------------------- inference
-    def _augment(self, X: np.ndarray) -> np.ndarray:
-        """Append the intercept column."""
+    def augment(self, X: np.ndarray) -> np.ndarray:
+        """Append the intercept column (the layout every weight vector uses)."""
         X = np.asarray(X, dtype=float)
         if X.ndim == 1:
             X = X.reshape(1, -1)
@@ -125,7 +139,7 @@ class IncrementalGLM:
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Return probabilities of shape ``(n, n_classes)``."""
-        X_aug = self._augment(X)
+        X_aug = self.augment(X)
         if self.n_classes == 2:
             p_one = _sigmoid(X_aug @ self.weights)
             return np.column_stack([1.0 - p_one, p_one])
@@ -170,7 +184,7 @@ class IncrementalGLM:
         split-candidate statistics require (Algorithm 1, lines 8-9).
         """
         y = np.asarray(y, dtype=int)
-        X_aug = self._augment(X)
+        X_aug = self.augment(X)
         proba = self.predict_proba(X)
         if self.n_classes == 2:
             errors = proba[:, 1] - (y == 1).astype(float)
@@ -186,6 +200,37 @@ class IncrementalGLM:
         """Gradient of the batch negative log-likelihood (flattened)."""
         return self.per_sample_gradient(X, y).sum(axis=0)
 
+    def per_sample_loss_and_gradient(
+        self, X: np.ndarray, y: np.ndarray, X_aug: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample NLL and its gradients from one shared forward pass.
+
+        Bit-identical to calling :meth:`per_sample_negative_log_likelihood`
+        and :meth:`per_sample_gradient` separately, but augments the batch
+        and evaluates the link function only once -- the DMT node update
+        needs both quantities for every batch.  ``X_aug`` optionally supplies
+        a precomputed :meth:`augment` of the batch.
+        """
+        y = np.asarray(y, dtype=int)
+        if X_aug is None:
+            X_aug = self.augment(X)
+        if self.n_classes == 2:
+            p_one = _sigmoid(X_aug @ self.weights)
+            y_is_one = y == 1
+            errors = p_one - y_is_one.astype(float)
+            grads = errors[:, None] * X_aug
+            # Selecting per-sample probabilities directly is the same gather
+            # predict_proba's column_stack + fancy index performs.
+            chosen = np.where(y_is_one, p_one, 1.0 - p_one)
+        else:
+            proba = _softmax(X_aug @ self.weights.T)
+            one_hot = np.zeros_like(proba)
+            one_hot[np.arange(len(y)), y] = 1.0
+            errors = proba - one_hot
+            grads = (errors[:, :, None] * X_aug[:, None, :]).reshape(len(y), -1)
+            chosen = proba[np.arange(len(y)), y]
+        return -np.log(np.clip(chosen, _PROBA_EPS, 1.0)), grads
+
     # --------------------------------------------------------------- update
     def update(self, X: np.ndarray, y: np.ndarray) -> "IncrementalGLM":
         """Perform one SGD step on the mean batch gradient.
@@ -194,10 +239,8 @@ class IncrementalGLM:
         the current step (Section IV of the paper), which corresponds to a
         plain incremental SGD update here.
         """
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
-        if len(X) == 0:
+        X = self._coerce_batch(X)
+        if X is None:
             return self
         grad = self.gradient(X, y) / len(X)
         self.weights = self.weights - self.learning_rate * grad.reshape(
@@ -205,23 +248,102 @@ class IncrementalGLM:
         )
         return self
 
-    def fit_incremental(self, X: np.ndarray, y: np.ndarray) -> "IncrementalGLM":
+    @staticmethod
+    def _coerce_batch(X: np.ndarray) -> np.ndarray | None:
+        """Coerce ``X`` to a 2-D float batch; ``None`` for an empty batch.
+
+        The emptiness check runs *before* the 1-D reshape: reshaping an empty
+        1-D array to ``(1, -1)`` would fabricate a ``(1, 0)`` row that crashes
+        in the matmul instead of being skipped.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            if X.size == 0:
+                return None
+            X = X.reshape(1, -1)
+        if len(X) == 0:
+            return None
+        return X
+
+    def fit_incremental(
+        self, X: np.ndarray, y: np.ndarray, X_aug: np.ndarray | None = None
+    ) -> "IncrementalGLM":
         """Instance-incremental SGD: one gradient step per observation.
 
         This is the classic online learning update (and the one the Dynamic
         Model Tree nodes use): every observation of the batch triggers a step
         of size ``learning_rate`` on its own gradient, computed at the current
         weights.  Equivalent to :meth:`update` for a batch of size one.
+        ``X_aug`` optionally supplies a precomputed :meth:`augment` of the
+        batch so callers that already augmented it (the DMT node update)
+        avoid a second pass; only the fast path uses it.
         """
-        X = np.asarray(X, dtype=float)
-        if X.ndim == 1:
-            X = X.reshape(1, -1)
+        X = self._coerce_batch(X)
+        if X is None:
+            return self
         y = np.asarray(y, dtype=int)
+        if self.vectorized:
+            return self._fit_incremental_fast(X, y, X_aug)
+        return self._fit_incremental_reference(X, y)
+
+    def _fit_incremental_reference(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> "IncrementalGLM":
+        """Reference implementation: one full gradient call per observation."""
         for row in range(len(X)):
             grad = self.gradient(X[row : row + 1], y[row : row + 1])
             self.weights = self.weights - self.learning_rate * grad.reshape(
                 self._weight_shape()
             )
+        return self
+
+    def _fit_incremental_fast(
+        self, X: np.ndarray, y: np.ndarray, X_aug: np.ndarray | None = None
+    ) -> "IncrementalGLM":
+        """Fast per-observation SGD, bit-identical to the reference loop.
+
+        The intercept augmentation is hoisted out of the loop and each step
+        works on the augmented row directly: a scalar sigmoid-dot for the
+        binary model, one matrix-vector score per row for the multiclass
+        model.  Operation order and grouping mirror the reference loop
+        exactly so the weight trace matches bit for bit.
+        """
+        X_aug = self.augment(X) if X_aug is None else X_aug
+        learning_rate = self.learning_rate
+        if self.n_classes == 2:
+            # In-place updates on a private copy with one reusable step
+            # buffer: multiplication is commutative and in-place subtraction
+            # performs the same IEEE operation, so the weight trace matches
+            # the out-of-place reference bit for bit with zero per-row
+            # allocations.
+            weights = self.weights.copy()
+            step = np.empty_like(weights)
+            for row in range(len(X_aug)):
+                x = X_aug[row]
+                score = x @ weights
+                if score >= 0:
+                    p_one = 1.0 / (1.0 + np.exp(-score))
+                else:
+                    exp_score = np.exp(score)
+                    p_one = exp_score / (1.0 + exp_score)
+                error = p_one - (1.0 if y[row] == 1 else 0.0)
+                np.multiply(x, error, out=step)
+                step *= learning_rate
+                weights -= step
+            self.weights = weights
+            return self
+        weights = self.weights.copy()
+        step = np.empty_like(weights)
+        for row in range(len(X_aug)):
+            x = X_aug[row]
+            scores = weights @ x
+            exp_scores = np.exp(scores - scores.max())
+            errors = exp_scores / exp_scores.sum()
+            errors[y[row]] -= 1.0
+            np.multiply(errors[:, None], x[None, :], out=step)
+            step *= learning_rate
+            weights -= step
+        self.weights = weights
         return self
 
     # ------------------------------------------------------------- features

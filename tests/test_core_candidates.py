@@ -115,6 +115,81 @@ class TestCandidateManagerBounds:
         replaced = len(before_keys - after_keys)
         assert replaced <= int(0.5 * 6)
 
+    def test_low_gain_newcomers_do_not_evict_high_gain_candidates(self):
+        """Regression: a full store must not be churned by weak newcomers.
+
+        ``consider_new`` used to replace the weakest stored candidates
+        unconditionally, so a batch of near-zero-gain newcomers evicted
+        stored candidates with large accumulated gains whenever the store
+        was full (Section V-D semantics).  A newcomer must now beat the
+        evictee's stored gain.
+        """
+        manager = CandidateManager(
+            n_features=1, max_candidates=4, replacement_rate=1.0
+        )
+        rng = np.random.default_rng(0)
+        # Informative first batch: large per-sample losses and gradients give
+        # the admitted candidates a solidly positive accumulated gain.
+        X = rng.uniform(size=(60, 1))
+        loss = rng.uniform(5.0, 10.0, size=60)
+        grad = rng.normal(size=(60, 3)) * 5.0
+        node_loss = float(loss.sum())
+        node_grad = grad.sum(axis=0)
+        manager.consider_new(
+            X, loss, grad, node_loss=node_loss, node_gradient=node_grad,
+            node_count=60.0, learning_rate=0.05,
+        )
+        assert len(manager) == 4
+        stored_keys = {candidate.key for candidate in manager.candidates}
+        stored_gains = [
+            candidate.gain(node_loss, node_grad, 60.0, learning_rate=0.05)
+            for candidate in manager.candidates
+        ]
+        assert min(stored_gains) > 0.0
+
+        # Newcomer batch at unseen thresholds with ~zero loss and gradient:
+        # its batch gains are ~zero, far below every stored gain.
+        X_new = rng.uniform(10.0, 11.0, size=(60, 1))
+        loss_new = np.full(60, 1e-9)
+        grad_new = np.full((60, 3), 1e-9)
+        manager.update_stored(X_new, loss_new, grad_new)
+        manager.consider_new(
+            X_new, loss_new, grad_new,
+            node_loss=node_loss + float(loss_new.sum()),
+            node_gradient=node_grad + grad_new.sum(axis=0),
+            node_count=120.0, learning_rate=0.05,
+        )
+        assert {candidate.key for candidate in manager.candidates} == stored_keys
+
+    def test_strong_newcomers_still_evict_weak_candidates(self):
+        """The replacement budget still admits genuinely better newcomers."""
+        manager = CandidateManager(
+            n_features=1, max_candidates=4, replacement_rate=1.0
+        )
+        rng = np.random.default_rng(1)
+        # Weak first batch: near-zero losses/gradients -> near-zero gains.
+        X = rng.uniform(size=(40, 1))
+        loss = np.full(40, 1e-9)
+        grad = np.full((40, 3), 1e-9)
+        manager.consider_new(
+            X, loss, grad, node_loss=float(loss.sum()),
+            node_gradient=grad.sum(axis=0), node_count=40.0, learning_rate=0.05,
+        )
+        assert len(manager) == 4
+        weak_keys = {candidate.key for candidate in manager.candidates}
+
+        X_new = rng.uniform(10.0, 11.0, size=(40, 1))
+        loss_new = rng.uniform(5.0, 10.0, size=40)
+        grad_new = rng.normal(size=(40, 3)) * 5.0
+        manager.update_stored(X_new, loss_new, grad_new)
+        manager.consider_new(
+            X_new, loss_new, grad_new,
+            node_loss=float(loss.sum() + loss_new.sum()),
+            node_gradient=grad.sum(axis=0) + grad_new.sum(axis=0),
+            node_count=80.0, learning_rate=0.05,
+        )
+        assert {candidate.key for candidate in manager.candidates} != weak_keys
+
     def test_clear_empties_store(self):
         manager = CandidateManager(n_features=3)
         X, loss, grad = _make_batch()

@@ -58,6 +58,14 @@ class TestFitIncremental:
         model.fit_incremental(np.empty((0, 2)), np.empty(0, dtype=int))
         np.testing.assert_allclose(model.weights, weights)
 
+    def test_empty_1d_batch_is_noop(self):
+        """Regression: a 1-D empty batch was reshaped to a (1, 0) row before
+        the emptiness guard and crashed in the matmul."""
+        model = IncrementalGLM(n_features=2, n_classes=2, rng=0)
+        weights = model.weights.copy()
+        model.fit_incremental(np.empty(0), np.empty(0, dtype=int))
+        np.testing.assert_array_equal(model.weights, weights)
+
     def test_handles_1d_input(self):
         model = IncrementalGLM(n_features=3, n_classes=2, rng=0)
         model.fit_incremental(np.array([0.1, 0.2, 0.3]), np.array([1]))

@@ -57,6 +57,26 @@ class TestConstruction:
         clone = model.clone(warm_start=False)
         assert not np.allclose(clone.weights, model.weights)
 
+    def test_clone_cold_start_with_seed_is_deterministic(self):
+        """Regression: cold clones used to draw from an unseeded generator,
+        so two cold clones of the same seeded model differed and broke the
+        determinism guarantees of the persistence and golden suites."""
+        model = IncrementalGLM(n_features=3, n_classes=2, rng=1, init_scale=0.5)
+        first = model.clone(warm_start=False, rng=7)
+        second = model.clone(warm_start=False, rng=7)
+        np.testing.assert_array_equal(first.weights, second.weights)
+        assert not np.allclose(first.weights, model.weights)
+
+    def test_clone_cold_start_accepts_generator(self):
+        model = IncrementalGLM(n_features=2, n_classes=3, rng=0, init_scale=0.5)
+        first = model.clone(warm_start=False, rng=np.random.default_rng(3))
+        second = model.clone(warm_start=False, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(first.weights, second.weights)
+
+    def test_clone_preserves_vectorized_flag(self):
+        model = IncrementalGLM(n_features=2, n_classes=2, rng=0, vectorized=False)
+        assert model.clone(warm_start=True).vectorized is False
+
 
 class TestInference:
     @pytest.mark.parametrize("n_classes", [2, 3, 5])
@@ -161,6 +181,14 @@ class TestTraining:
         weights = model.weights.copy()
         model.update(np.empty((0, 2)), np.empty(0, dtype=int))
         np.testing.assert_allclose(model.weights, weights)
+
+    def test_update_with_empty_1d_batch_is_noop(self):
+        """Regression: a 1-D empty batch was reshaped to a (1, 0) row before
+        the emptiness guard and crashed in the matmul."""
+        model = IncrementalGLM(n_features=2, n_classes=2, rng=0)
+        weights = model.weights.copy()
+        model.update(np.empty(0), np.empty(0, dtype=int))
+        np.testing.assert_array_equal(model.weights, weights)
 
     def test_feature_weights_shape(self):
         binary = IncrementalGLM(n_features=4, n_classes=2, rng=0)

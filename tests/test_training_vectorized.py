@@ -1,0 +1,276 @@
+"""Property tests: the vectorized DMT training hot path is bit-identical to
+the retained per-row / per-candidate reference implementations.
+
+Three layers are compared across random batch schedules (including
+single-row and constant-feature batches), binary and multiclass:
+
+* ``CandidateManager`` batch accumulation + admission (``vectorized=True``
+  vs the per-candidate reference loops),
+* the ``candidate_gain_sweep`` against ``CandidateStatistics.gain``,
+* ``IncrementalGLM.fit_incremental`` (fast path vs per-row reference),
+* the full ``DynamicModelTree`` training loop, including the prequential
+  ``deterministic_summary()``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicModelTree
+from repro.core.candidates import (
+    CandidateManager,
+    CandidateStatistics,
+    candidate_gain_sweep,
+)
+from repro.evaluation.prequential import PrequentialEvaluator
+from repro.linear.glm import IncrementalGLM
+from repro.streams.synthetic import SEAGenerator
+from tests.conftest import make_multiclass_blobs, make_xor
+
+
+def _batch_schedule(rng, total, max_batch=60):
+    """Random batch sizes covering ``total`` rows, always including size 1."""
+    sizes = [1]
+    covered = 1
+    while covered < total:
+        size = int(rng.integers(1, max_batch))
+        sizes.append(min(size, total - covered))
+        covered += sizes[-1]
+    return sizes
+
+
+def _random_batches(seed, total=300, n_features=3, n_params=5, constant_feature=False):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(total, n_features))
+    if constant_feature:
+        X[:, 0] = 0.5
+    loss = rng.uniform(0.05, 2.0, size=total)
+    grad = rng.normal(size=(total, n_params))
+    batches = []
+    start = 0
+    for size in _batch_schedule(rng, total):
+        batches.append(
+            (X[start : start + size], loss[start : start + size], grad[start : start + size])
+        )
+        start += size
+    return batches
+
+
+def _manager_state(manager):
+    return (
+        manager._features.copy(),
+        manager._thresholds.copy(),
+        manager._losses.copy(),
+        manager._gradients.copy(),
+        manager._counts.copy(),
+    )
+
+
+def _assert_managers_identical(fast, slow):
+    for fast_field, slow_field in zip(_manager_state(fast), _manager_state(slow)):
+        np.testing.assert_array_equal(fast_field, slow_field)
+    assert fast._key_index == slow._key_index
+
+
+class TestCandidateManagerEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), constant=st.booleans())
+    def test_accumulation_and_admission_bit_identical(self, seed, constant):
+        fast = CandidateManager(n_features=3, max_candidates=7, vectorized=True)
+        slow = CandidateManager(n_features=3, max_candidates=7, vectorized=False)
+        node_loss, node_count = 0.0, 0.0
+        node_grad = np.zeros(5)
+        for X, loss, grad in _random_batches(seed, constant_feature=constant):
+            node_loss += float(loss.sum())
+            node_grad = node_grad + grad.sum(axis=0)
+            node_count += float(len(loss))
+            for manager in (fast, slow):
+                manager.update_stored(X, loss, grad)
+                manager.consider_new(
+                    X, loss, grad,
+                    node_loss=node_loss, node_gradient=node_grad,
+                    node_count=node_count, learning_rate=0.05,
+                )
+            _assert_managers_identical(fast, slow)
+            best_fast = fast.best_candidate(node_loss, node_grad, node_count, 0.05)
+            best_slow = slow.best_candidate(node_loss, node_grad, node_count, 0.05)
+            assert (best_fast[0] is None) == (best_slow[0] is None)
+            if best_fast[0] is not None:
+                assert best_fast[0].key == best_slow[0].key
+                assert best_fast[1] == best_slow[1]
+
+    def test_single_row_batches_bit_identical(self):
+        fast = CandidateManager(n_features=2, max_candidates=4, vectorized=True)
+        slow = CandidateManager(n_features=2, max_candidates=4, vectorized=False)
+        rng = np.random.default_rng(11)
+        node_loss, node_count, node_grad = 0.0, 0.0, np.zeros(3)
+        for _ in range(40):
+            X = rng.uniform(size=(1, 2))
+            loss = rng.uniform(0.1, 1.0, size=1)
+            grad = rng.normal(size=(1, 3))
+            node_loss += float(loss.sum())
+            node_grad = node_grad + grad.sum(axis=0)
+            node_count += 1.0
+            for manager in (fast, slow):
+                manager.update_stored(X, loss, grad)
+                manager.consider_new(
+                    X, loss, grad,
+                    node_loss=node_loss, node_gradient=node_grad,
+                    node_count=node_count, learning_rate=0.05,
+                )
+        _assert_managers_identical(fast, slow)
+
+
+class TestGainSweepEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_sweep_matches_scalar_gain(self, seed):
+        rng = np.random.default_rng(seed)
+        k, p = int(rng.integers(1, 12)), int(rng.integers(2, 20))
+        losses = rng.uniform(0.0, 10.0, size=k)
+        gradients = rng.normal(size=(k, p)) * rng.uniform(0.1, 10.0)
+        counts = rng.integers(0, 50, size=k).astype(float)
+        node_loss = float(losses.sum() + rng.uniform(0.0, 5.0))
+        node_grad = rng.normal(size=p)
+        node_count = float(counts.sum() + rng.integers(1, 20))
+        reference_loss = float(rng.uniform(0.0, 20.0))
+        swept = candidate_gain_sweep(
+            losses, gradients, counts,
+            node_loss, node_grad, node_count, 0.05, reference_loss,
+        )
+        for index in range(k):
+            scalar = CandidateStatistics(
+                feature=0, threshold=0.0,
+                loss=float(losses[index]),
+                gradient=gradients[index],
+                count=float(counts[index]),
+            ).gain(node_loss, node_grad, node_count, 0.05, reference_loss)
+            assert swept[index] == scalar
+
+
+class TestGLMEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_classes=st.integers(2, 4))
+    def test_fit_incremental_fast_path_bit_identical(self, seed, n_classes):
+        rng = np.random.default_rng(seed)
+        fast = IncrementalGLM(n_features=3, n_classes=n_classes, rng=seed)
+        slow = fast.clone(warm_start=True)
+        slow.vectorized = False
+        total = 200
+        X = rng.uniform(size=(total, 3))
+        y = rng.integers(0, n_classes, size=total)
+        start = 0
+        for size in _batch_schedule(rng, total):
+            xb, yb = X[start : start + size], y[start : start + size]
+            start += size
+            fast.fit_incremental(xb, yb)
+            slow.fit_incremental(xb, yb)
+            np.testing.assert_array_equal(fast.weights, slow.weights)
+
+    def test_constant_feature_batch_bit_identical(self):
+        fast = IncrementalGLM(n_features=2, n_classes=2, rng=0)
+        slow = fast.clone(warm_start=True)
+        slow.vectorized = False
+        X = np.full((30, 2), 0.25)
+        y = np.zeros(30, dtype=int)
+        fast.fit_incremental(X, y)
+        slow.fit_incremental(X, y)
+        np.testing.assert_array_equal(fast.weights, slow.weights)
+
+    def test_single_row_equals_update(self):
+        fast = IncrementalGLM(n_features=3, n_classes=2, rng=1)
+        other = fast.clone(warm_start=True)
+        X = np.array([[0.3, 0.8, 0.1]])
+        y = np.array([1])
+        fast.fit_incremental(X, y)
+        other.update(X, y)
+        np.testing.assert_array_equal(fast.weights, other.weights)
+
+
+class TestDMTEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 1_000))
+    def test_training_trajectory_bit_identical(self, seed):
+        X, y = make_xor(2500, seed=seed)
+        X = X * 3.0
+        rng = np.random.default_rng(seed)
+        fast = DynamicModelTree(random_state=seed)
+        slow = DynamicModelTree(random_state=seed, vectorized=False)
+        start = 0
+        for size in _batch_schedule(rng, len(X), max_batch=120):
+            xb, yb = X[start : start + size], y[start : start + size]
+            start += size
+            fast.partial_fit(xb, yb, classes=[0, 1])
+            slow.partial_fit(xb, yb, classes=[0, 1])
+        assert fast.n_nodes == slow.n_nodes
+        assert fast.depth == slow.depth
+        np.testing.assert_array_equal(
+            fast.predict_proba(X[:200]), slow.predict_proba(X[:200])
+        )
+
+    def test_multiclass_training_bit_identical(self):
+        X, y = make_multiclass_blobs(3000, n_classes=3, n_features=4, seed=5)
+        fast = DynamicModelTree(random_state=3)
+        slow = DynamicModelTree(random_state=3, vectorized=False)
+        for begin in range(0, len(X), 64):
+            xb, yb = X[begin : begin + 64], y[begin : begin + 64]
+            fast.partial_fit(xb, yb, classes=[0, 1, 2])
+            slow.partial_fit(xb, yb, classes=[0, 1, 2])
+        np.testing.assert_array_equal(fast.predict_proba(X), slow.predict_proba(X))
+        assert fast.n_nodes == slow.n_nodes
+
+    def test_deterministic_summary_bit_identical(self):
+        """The acceptance criterion: same seeds, both paths, same summary."""
+        summaries = []
+        for vectorized in (True, False):
+            stream = SEAGenerator(n_samples=2000, noise=0.1, seed=42)
+            model = DynamicModelTree(random_state=42, vectorized=vectorized)
+            evaluator = PrequentialEvaluator(batch_size=50)
+            result = evaluator.evaluate(model, stream, model_name="dmt")
+            summaries.append(result.deterministic_summary())
+        assert summaries[0] == summaries[1]
+
+
+class TestLegacyPayloadMigration:
+    def test_dict_of_dataclass_payload_loads_into_soa_store(self):
+        """Models saved before the SoA refactor keep loading (and training)."""
+        from repro.persistence import codec
+
+        manager = CandidateManager(n_features=2, max_candidates=6)
+        rng = np.random.default_rng(4)
+        X = rng.uniform(size=(40, 2))
+        loss = rng.uniform(0.1, 1.0, size=40)
+        grad = rng.normal(size=(40, 3))
+        manager.consider_new(
+            X, loss, grad,
+            node_loss=float(loss.sum()), node_gradient=grad.sum(axis=0),
+            node_count=40.0, learning_rate=0.05,
+        )
+        assert len(manager) > 0
+
+        # Re-encode the store the way the pre-SoA format did: a dict of
+        # CandidateStatistics keyed by (feature, threshold).
+        state = codec.encode(manager)
+        legacy_candidates = {
+            stat.key: stat for stat in manager.candidates
+        }
+        for field in (
+            "_features", "_thresholds", "_losses", "_counts", "_gradients",
+            "vectorized",
+        ):
+            state["state"].pop(field, None)
+        state["state"]["_candidates"] = codec.encode(legacy_candidates)
+
+        loaded = codec.decode(state)
+        assert isinstance(loaded, CandidateManager)
+        assert loaded.vectorized is True  # class-level fallback
+        _assert_managers_identical(loaded, manager)
+
+        # The migrated store keeps accumulating identically to the original.
+        X2 = rng.uniform(size=(20, 2))
+        loss2 = rng.uniform(0.1, 1.0, size=20)
+        grad2 = rng.normal(size=(20, 3))
+        loaded.update_stored(X2, loss2, grad2)
+        manager.update_stored(X2, loss2, grad2)
+        _assert_managers_identical(loaded, manager)
