@@ -120,7 +120,20 @@ class StreamClassifier(PersistableStateMixin, ABC):
         DMT) should pass ``classes`` on the first call to ``partial_fit``;
         otherwise the class set grows as new labels are observed.
         """
-        seen = set() if self.classes_ is None else set(self.classes_.tolist())
+        known = self.classes_
+        if known is not None:
+            # Fast path for the common steady state: every incoming label is
+            # already known, so the sorted class array is unchanged.
+            if classes is None or classes is known:
+                pending = y
+            else:
+                pending = np.concatenate([y, np.asarray(classes).ravel()])
+            positions = np.searchsorted(known, pending)
+            if np.all(positions < len(known)) and np.array_equal(
+                known[np.minimum(positions, len(known) - 1)], pending
+            ):
+                return
+        seen = set() if known is None else set(known.tolist())
         if classes is not None:
             seen.update(np.asarray(classes).tolist())
         seen.update(np.unique(y).tolist())

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.persistence.mixin import PersistableStateMixin
 
 
@@ -13,7 +15,10 @@ class BaseDriftDetector(PersistableStateMixin, ABC):
     Detectors consume one value at a time via :meth:`update` (typically a
     0/1 error indicator or a residual) and expose two flags:
     :attr:`in_drift` (change detected at the current step) and
-    :attr:`in_warning` (early warning where supported).
+    :attr:`in_warning` (early warning where supported).  Batch consumers
+    use :meth:`update_many`, which feeds an array and stops at the first
+    drift; subclasses override it with loop-free or tightened variants that
+    stay bit-identical to the scalar loop.
     """
 
     def __init__(self) -> None:
@@ -24,6 +29,20 @@ class BaseDriftDetector(PersistableStateMixin, ABC):
     @abstractmethod
     def update(self, value: float) -> bool:
         """Add one observation; return ``True`` when drift is detected."""
+
+    def update_many(self, values) -> int | None:
+        """Consume ``values`` until the first drift; return its index.
+
+        Returns ``None`` when no value triggered a drift.  The detector
+        state afterwards is exactly the state after scalar :meth:`update`
+        calls over ``values[: index + 1]`` (or all values), so callers
+        resume with the remaining slice to process a whole batch.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        for index, value in enumerate(values.tolist()):
+            if self.update(value):
+                return index
+        return None
 
     def reset(self) -> "BaseDriftDetector":
         """Restore the initial state."""

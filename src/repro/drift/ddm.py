@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.drift.base import BaseDriftDetector
 
 
@@ -76,6 +78,66 @@ class DDM(BaseDriftDetector):
         elif level > baseline + self.warning_level * self._min_std:
             self.in_warning = True
         return self.in_drift
+
+    def update_many(self, values) -> int | None:
+        """Consume values until the first drift (see the base class).
+
+        A tightened scalar loop over local variables -- the recurrence of
+        the running error rate is sequential, so the win over per-value
+        :meth:`update` calls is purely the removed dispatch overhead.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        n = self.n_observations
+        error_rate = self._error_rate
+        std = self._std
+        min_error_rate = self._min_error_rate
+        min_std = self._min_std
+        min_observations = self.min_observations
+        warning_level = self.warning_level
+        drift_level = self.drift_level
+        in_warning = self.in_warning
+        sqrt = math.sqrt
+        for index, value in enumerate(values.tolist()):
+            if value != 0.0 and value != 1.0:
+                self.n_observations = n
+                self._error_rate = error_rate
+                self._std = std
+                self._min_error_rate = min_error_rate
+                self._min_std = min_std
+                if index > 0:
+                    # The scalar loop validates before mutating, so the
+                    # flags reflect the last *valid* observation -- or stay
+                    # untouched when the very first value is invalid.
+                    self.in_drift = False
+                    self.in_warning = in_warning
+                raise ValueError(
+                    f"DDM expects 0/1 error indicators, got {value!r}."
+                )
+            n += 1
+            error_rate += (value - error_rate) / n
+            std = sqrt(max(error_rate * (1.0 - error_rate), 0.0) / n)
+            in_warning = False
+            if n < min_observations:
+                continue
+            if error_rate + std <= min_error_rate + min_std:
+                min_error_rate = error_rate
+                min_std = std
+            level = error_rate + std
+            if level > min_error_rate + drift_level * min_std:
+                self.in_drift = True
+                self.in_warning = False
+                self._reset_statistics()
+                return index
+            if level > min_error_rate + warning_level * min_std:
+                in_warning = True
+        self.n_observations = n
+        self._error_rate = error_rate
+        self._std = std
+        self._min_error_rate = min_error_rate
+        self._min_std = min_std
+        self.in_drift = False
+        self.in_warning = in_warning
+        return None
 
     def _reset_statistics(self) -> None:
         self.n_observations = 0

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.drift.base import BaseDriftDetector
 
 
@@ -85,6 +87,86 @@ class EDDM(BaseDriftDetector):
         elif ratio < self.warning_level:
             self.in_warning = True
         return self.in_drift
+
+    def update_many(self, values) -> int | None:
+        """Consume values until the first drift (see the base class).
+
+        EDDM only does real work on misclassified observations; the batch
+        version jumps straight between the error positions and accounts for
+        the correct observations in between arithmetically, which is exactly
+        what the scalar loop computes (distances are observation-count
+        differences).
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if not len(values):
+            return None
+        invalid = np.flatnonzero((values != 0.0) & (values != 1.0))
+        first_invalid = int(invalid[0]) if len(invalid) else None
+        limit = len(values) if first_invalid is None else first_invalid
+        error_positions = np.flatnonzero(values[:limit] == 1.0).tolist()
+
+        base = self.n_observations
+        n_errors = self._n_errors
+        last_error_at = self._last_error_at
+        distance_mean = self._distance_mean
+        distance_m2 = self._distance_m2
+        max_score = self._max_score
+        min_errors = self.min_errors
+        warning_level = self.warning_level
+        drift_level = self.drift_level
+        in_warning = False
+        for position in error_positions:
+            n_errors += 1
+            observed = base + position + 1
+            distance = observed - last_error_at
+            last_error_at = observed
+            delta = distance - distance_mean
+            distance_mean += delta / n_errors
+            distance_m2 += delta * (distance - distance_mean)
+            in_warning = False
+            if n_errors < min_errors:
+                continue
+            std = math.sqrt(max(distance_m2 / n_errors, 0.0))
+            score = distance_mean + 2.0 * std
+            max_score = max(max_score, score)
+            if max_score <= 0:
+                continue
+            ratio = score / max_score
+            if ratio < drift_level:
+                self.in_drift = True
+                self.in_warning = False
+                self._reset_statistics()
+                self.n_observations = 0
+                return position
+            if ratio < warning_level:
+                in_warning = True
+
+        self._n_errors = n_errors
+        self._last_error_at = last_error_at
+        self._distance_mean = distance_mean
+        self._distance_m2 = distance_m2
+        self._max_score = max_score
+        if first_invalid is not None:
+            self.n_observations = base + first_invalid
+            if first_invalid > 0:
+                # The scalar loop validates before mutating, so the flags
+                # reflect the last *valid* observation -- or stay untouched
+                # when the very first value is invalid.
+                self.in_drift = False
+                self.in_warning = in_warning if (
+                    error_positions and error_positions[-1] == first_invalid - 1
+                ) else False
+            value = float(values[first_invalid])
+            raise ValueError(
+                f"EDDM expects 0/1 error indicators, got {value!r}."
+            )
+        self.in_drift = False
+        self.n_observations = base + len(values)
+        # The flags reflect the final processed observation: a correct one
+        # resets them, an error carries the flag computed above.
+        last_is_error = bool(error_positions) and error_positions[-1] == len(values) - 1
+        self.in_warning = in_warning if last_is_error else False
+        return None
 
     def reset(self) -> "EDDM":
         super().reset()

@@ -8,6 +8,8 @@ running mean and signals a change when the deviation exceeds a threshold.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.drift.base import BaseDriftDetector
 
 
@@ -68,6 +70,39 @@ class PageHinkley(BaseDriftDetector):
         if self.in_drift:
             self._reset_statistics()
         return self.in_drift
+
+    def update_many(self, values) -> int | None:
+        """Consume values until the first drift (see the base class).
+
+        The running mean and the cumulative statistic are sequential
+        recurrences; the batch version is the scalar loop over hoisted
+        locals, bit-identical to per-value :meth:`update` calls.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        n = self.n_observations
+        mean = self._mean
+        cumulative = self._cumulative
+        minimum = self._minimum
+        alpha = self.alpha
+        delta = self.delta
+        threshold = self.threshold
+        min_observations = self.min_observations
+        for index, value in enumerate(values.tolist()):
+            n += 1
+            mean += (value - mean) / n
+            cumulative = alpha * cumulative + (value - mean - delta)
+            if cumulative < minimum:
+                minimum = cumulative
+            if n >= min_observations and cumulative - minimum > threshold:
+                self.in_drift = True
+                self._reset_statistics()
+                return index
+        self.n_observations = n
+        self._mean = mean
+        self._cumulative = cumulative
+        self._minimum = minimum
+        self.in_drift = False
+        return None
 
     def _reset_statistics(self) -> None:
         self._mean = 0.0

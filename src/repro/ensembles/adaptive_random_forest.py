@@ -17,12 +17,25 @@ import numpy as np
 
 from repro.base import ComplexityReport, StreamClassifier
 from repro.drift.adwin import ADWIN
+from repro.ensembles.bagging import (
+    accumulate_member_votes,
+    detector_saw_mean_increase,
+    make_default_member,
+)
 from repro.trees.vfdt import HoeffdingTreeClassifier
 from repro.utils.validation import check_positive, check_random_state
 
 
 class _ForestMember:
     """One ARF member: a foreground tree, detectors, optional background tree."""
+
+    __slots__ = (
+        "tree",
+        "feature_indices",
+        "warning_detector",
+        "drift_detector",
+        "background_tree",
+    )
 
     def __init__(
         self,
@@ -57,7 +70,13 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
         Confidence levels of the per-tree ADWIN warning and drift detectors.
     random_state:
         Seed controlling feature subspaces and Poisson draws.
+    vectorized:
+        Whether batched resampling, detector feeds and vote alignment are
+        used (the default) or the per-row reference loops.  Bit-identical.
     """
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -68,6 +87,7 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
         warning_delta: float = 0.01,
         drift_delta: float = 0.001,
         random_state: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         if n_estimators < 1:
@@ -84,6 +104,7 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
         self.warning_delta = float(warning_delta)
         self.drift_delta = float(drift_delta)
         self.random_state = random_state
+        self.vectorized = bool(vectorized)
         self._rng = check_random_state(random_state)
         self.members_: list[_ForestMember] = []
         self.n_warnings = 0
@@ -111,7 +132,7 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
             )
             self.members_.append(
                 _ForestMember(
-                    tree=self.base_estimator_factory(),
+                    tree=self._make_estimator(),
                     feature_indices=feature_indices,
                     warning_detector=ADWIN(delta=self.warning_delta),
                     drift_detector=ADWIN(delta=self.drift_delta),
@@ -126,7 +147,14 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
         if not self.members_:
             self._init_members()
 
-        for member in self.members_:
+        if self.vectorized:
+            # One generator call for the whole batch: numpy fills the matrix
+            # in the same draw order as the per-member calls below, and the
+            # detector updates between the draws consume no randomness.
+            weight_matrix = self._rng.poisson(
+                self.poisson_lambda, size=(self.n_estimators, len(X))
+            )
+        for member_idx, member in enumerate(self.members_):
             X_sub = X[:, member.feature_indices]
 
             # Drift monitoring on the member's prequential errors.  A change
@@ -136,30 +164,41 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
             if member.tree.classes_ is not None:
                 predictions = member.tree.predict(X_sub)
                 errors = (predictions != y).astype(float)
-                warning = False
-                drift = False
-                for error in errors:
-                    before = member.warning_detector.mean
-                    if member.warning_detector.update(error):
-                        warning = warning or member.warning_detector.mean > before
-                    before = member.drift_detector.mean
-                    if member.drift_detector.update(error):
-                        drift = drift or member.drift_detector.mean > before
+                if self.vectorized:
+                    warning = detector_saw_mean_increase(
+                        member.warning_detector, errors
+                    )
+                    drift = detector_saw_mean_increase(
+                        member.drift_detector, errors
+                    )
+                else:
+                    warning = False
+                    drift = False
+                    for error in errors:
+                        before = member.warning_detector.mean
+                        if member.warning_detector.update(error):
+                            warning = warning or member.warning_detector.mean > before
+                        before = member.drift_detector.mean
+                        if member.drift_detector.update(error):
+                            drift = drift or member.drift_detector.mean > before
                 if warning and member.background_tree is None:
-                    member.background_tree = self.base_estimator_factory()
+                    member.background_tree = self._make_estimator()
                     self.n_warnings += 1
                 if drift:
                     if member.background_tree is not None:
                         member.tree = member.background_tree
                         member.background_tree = None
                     else:
-                        member.tree = self.base_estimator_factory()
+                        member.tree = self._make_estimator()
                     member.warning_detector = ADWIN(delta=self.warning_delta)
                     member.drift_detector = ADWIN(delta=self.drift_delta)
                     self.n_drifts += 1
 
             # Online bagging update of the foreground (and background) tree.
-            weights = self._rng.poisson(self.poisson_lambda, size=len(X))
+            if self.vectorized:
+                weights = weight_matrix[member_idx]
+            else:
+                weights = self._rng.poisson(self.poisson_lambda, size=len(X))
             mask = weights > 0
             if not np.any(mask):
                 continue
@@ -169,6 +208,9 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
             if member.background_tree is not None:
                 member.background_tree.partial_fit(X_rep, y_rep, classes=self.classes_)
         return self
+
+    def _make_estimator(self) -> StreamClassifier:
+        return make_default_member(self.base_estimator_factory, self.vectorized)
 
     # ------------------------------------------------------------ inference
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -180,10 +222,9 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
             if member.tree.classes_ is None:
                 continue
             proba = member.tree.predict_proba(X[:, member.feature_indices])
-            for column, label in enumerate(member.tree.classes_):
-                target = np.searchsorted(self.classes_, label)
-                if target < self.n_classes_ and self.classes_[target] == label:
-                    votes[:, target] += proba[:, column]
+            accumulate_member_votes(
+                votes, proba, member.tree.classes_, self.classes_, self.vectorized
+            )
         row_sums = votes.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return votes / row_sums

@@ -4,6 +4,12 @@ Online bagging approximates bootstrap resampling in a stream by presenting
 every observation to each ensemble member ``k ~ Poisson(λ)`` times.  It is
 the common substrate of the Leveraging Bagging and Adaptive Random Forest
 baselines.
+
+The vectorized path draws the whole ``(n_estimators, n)`` Poisson weight
+matrix with one generator call per batch (numpy fills it in the same draw
+order as the per-member calls, so the resampling is bit-identical) and
+aligns member votes onto the ensemble's class space with one ``searchsorted``
+scatter instead of a Python loop per member column.
 """
 
 from __future__ import annotations
@@ -13,8 +19,77 @@ from typing import Callable
 import numpy as np
 
 from repro.base import ComplexityReport, StreamClassifier
+from repro.drift.adwin import ADWIN
 from repro.trees.vfdt import HoeffdingTreeClassifier
 from repro.utils.validation import check_positive, check_random_state
+
+
+def make_default_member(factory, vectorized: bool) -> StreamClassifier:
+    """Build one ensemble member; default members follow the ensemble's flag.
+
+    Custom factories stay untouched, but when the member type is the stock
+    Hoeffding tree the ensemble's ``vectorized`` setting carries over, so
+    ``vectorized=False`` yields a full reference ensemble (the two member
+    paths are bit-identical either way).
+    """
+    estimator = factory()
+    if factory is HoeffdingTreeClassifier:
+        estimator.vectorized = vectorized
+    return estimator
+
+
+def accumulate_member_votes(
+    votes: np.ndarray,
+    proba: np.ndarray,
+    member_classes: np.ndarray,
+    ensemble_classes: np.ndarray,
+    vectorized: bool,
+) -> None:
+    """Add one member's class-aligned votes in place.
+
+    The vectorized path scatters all matching columns at once; distinct
+    member labels map to distinct targets, so the fancy-indexed addition
+    touches disjoint columns and matches the per-column reference adds
+    bit-for-bit.
+    """
+    n_classes = len(ensemble_classes)
+    if vectorized:
+        targets = np.searchsorted(ensemble_classes, member_classes)
+        valid = targets < n_classes
+        if np.any(valid):
+            clipped = targets[valid]
+            valid_columns = np.flatnonzero(valid)
+            matches = ensemble_classes[clipped] == member_classes[valid_columns]
+            if np.any(matches):
+                votes[:, clipped[matches]] += proba[:, valid_columns[matches]]
+        return
+    for column, label in enumerate(member_classes):
+        target = np.searchsorted(ensemble_classes, label)
+        if target < n_classes and ensemble_classes[target] == label:
+            votes[:, target] += proba[:, column]
+
+
+def detector_saw_mean_increase(detector: "ADWIN", errors: np.ndarray) -> bool:
+    """Feed ``errors`` through ``detector.update_many`` chunks.
+
+    Returns ``True`` when any drift event raised the detector's mean above
+    its value just before the firing insertion -- the batched equivalent of
+    the per-value ``before = mean; update(); mean > before`` loops the
+    ensembles used to run.  Requires an ADWIN-style detector: both ``mean``
+    and the ``mean_before_last_drift`` bookkeeping set by
+    :meth:`repro.drift.adwin.ADWIN.update_many` are read here; generic
+    detectors implement ``update_many`` but track no window mean.
+    """
+    increased = False
+    start = 0
+    while start < len(errors):
+        index = detector.update_many(errors[start:])
+        if index is None:
+            break
+        if detector.mean > detector.mean_before_last_drift:
+            increased = True
+        start += index + 1
+    return increased
 
 
 class OzaBaggingClassifier(StreamClassifier):
@@ -32,7 +107,13 @@ class OzaBaggingClassifier(StreamClassifier):
         6.0 for Leveraging Bagging).
     random_state:
         Seed controlling the Poisson draws.
+    vectorized:
+        Whether the batched resampling/vote-alignment kernels are used (the
+        default) or the per-member reference loops.  Both are bit-identical.
     """
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -40,6 +121,7 @@ class OzaBaggingClassifier(StreamClassifier):
         base_estimator_factory: Callable[[], StreamClassifier] | None = None,
         poisson_lambda: float = 1.0,
         random_state: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         if n_estimators < 1:
@@ -53,10 +135,14 @@ class OzaBaggingClassifier(StreamClassifier):
         )
         self.poisson_lambda = float(poisson_lambda)
         self.random_state = random_state
+        self.vectorized = bool(vectorized)
         self._rng = check_random_state(random_state)
         self.estimators_: list[StreamClassifier] = [
-            self.base_estimator_factory() for _ in range(self.n_estimators)
+            self._make_estimator() for _ in range(self.n_estimators)
         ]
+
+    def _make_estimator(self) -> StreamClassifier:
+        return make_default_member(self.base_estimator_factory, self.vectorized)
 
     # -------------------------------------------------------------- fitting
     def reset(self) -> "OzaBaggingClassifier":
@@ -64,7 +150,7 @@ class OzaBaggingClassifier(StreamClassifier):
         self.n_features_ = None
         self._rng = check_random_state(self.random_state)
         self.estimators_ = [
-            self.base_estimator_factory() for _ in range(self.n_estimators)
+            self._make_estimator() for _ in range(self.n_estimators)
         ]
         return self
 
@@ -73,9 +159,10 @@ class OzaBaggingClassifier(StreamClassifier):
     ) -> "OzaBaggingClassifier":
         X, y = self._validate_input(X, y)
         self._update_classes(y, classes)
+        weights = self._batch_weights(len(X))
         for estimator_idx, estimator in enumerate(self.estimators_):
-            weights = self._sample_weights(len(X), estimator_idx)
-            repeat = weights.astype(int)
+            member_weights = weights[estimator_idx]
+            repeat = member_weights.astype(int)
             mask = repeat > 0
             if not np.any(mask):
                 continue
@@ -83,6 +170,24 @@ class OzaBaggingClassifier(StreamClassifier):
             y_rep = np.repeat(y[mask], repeat[mask], axis=0)
             estimator.partial_fit(X_rep, y_rep, classes=self.classes_)
         return self
+
+    def _batch_weights(self, n: int) -> np.ndarray:
+        """Poisson weights of the whole batch, shape ``(n_estimators, n)``.
+
+        One generator call fills the matrix in the same order as the
+        per-member reference draws, so both paths consume the random stream
+        identically.
+        """
+        if self.vectorized:
+            return self._rng.poisson(
+                self.poisson_lambda, size=(self.n_estimators, n)
+            )
+        return np.stack(
+            [
+                self._sample_weights(n, estimator_idx)
+                for estimator_idx in range(self.n_estimators)
+            ]
+        )
 
     def _sample_weights(self, n: int, estimator_idx: int) -> np.ndarray:
         """Poisson weights for one estimator on the current batch."""
@@ -98,12 +203,9 @@ class OzaBaggingClassifier(StreamClassifier):
             if estimator.classes_ is None:
                 continue
             proba = estimator.predict_proba(X)
-            # Align the member's class space with the ensemble's.
-            member_classes = estimator.classes_
-            for column, label in enumerate(member_classes):
-                target = np.searchsorted(self.classes_, label)
-                if target < self.n_classes_ and self.classes_[target] == label:
-                    votes[:, target] += proba[:, column]
+            accumulate_member_votes(
+                votes, proba, estimator.classes_, self.classes_, self.vectorized
+            )
         row_sums = votes.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return votes / row_sums

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.base import StreamClassifier
 from repro.drift.adwin import ADWIN
-from repro.ensembles.bagging import OzaBaggingClassifier
+from repro.ensembles.bagging import OzaBaggingClassifier, detector_saw_mean_increase
 
 
 class LeveragingBaggingClassifier(OzaBaggingClassifier):
@@ -42,12 +42,14 @@ class LeveragingBaggingClassifier(OzaBaggingClassifier):
         poisson_lambda: float = 6.0,
         adwin_delta: float = 0.002,
         random_state: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(
             n_estimators=n_estimators,
             base_estimator_factory=base_estimator_factory,
             poisson_lambda=poisson_lambda,
             random_state=random_state,
+            vectorized=vectorized,
         )
         self.adwin_delta = float(adwin_delta)
         self._detectors = [ADWIN(delta=adwin_delta) for _ in range(self.n_estimators)]
@@ -78,16 +80,20 @@ class LeveragingBaggingClassifier(OzaBaggingClassifier):
             predictions = estimator.predict(X)
             errors = (predictions != y).astype(float)
             detector = self._detectors[estimator_idx]
-            for error in errors:
-                before = detector.mean
-                if detector.update(error) and detector.mean > before:
+            if self.vectorized:
+                if detector_saw_mean_increase(detector, errors):
                     change_detected = True
+            else:
+                for error in errors:
+                    before = detector.mean
+                    if detector.update(error) and detector.mean > before:
+                        change_detected = True
 
         if change_detected:
             # Reset the member with the highest estimated error.
             error_estimates = [detector.mean for detector in self._detectors]
             worst = int(np.argmax(error_estimates))
-            self.estimators_[worst] = self.base_estimator_factory()
+            self.estimators_[worst] = self._make_estimator()
             self._detectors[worst] = ADWIN(delta=self.adwin_delta)
             self.n_member_resets += 1
 

@@ -108,6 +108,7 @@ def ensure_default_registrations() -> None:
     from repro.trees.observers import (
         GaussianAttributeObserver,
         GaussianEstimator,
+        LeafObservers,
         NominalAttributeObserver,
         SplitSuggestion,
     )
@@ -163,6 +164,7 @@ def ensure_default_registrations() -> None:
         SplitSuggestion,
         GaussianEstimator,
         GaussianAttributeObserver,
+        LeafObservers,
         NominalAttributeObserver,
         InfoGainCriterion,
         GiniCriterion,

@@ -5,6 +5,13 @@ leaves that keep class statistics plus per-feature attribute observers, and
 binary split nodes that route observations.  This module provides those
 blocks; the concrete trees differ only in *when* they split, re-evaluate or
 prune.
+
+Leaves store their attribute statistics in one structure-of-arrays
+:class:`~repro.trees.observers.LeafObservers` store and support both
+per-observation (reference) and bulk (vectorized) updates; the two are
+bit-identical.  Batches are routed to the leaves with one partition per
+split node (:func:`route_batch_groups`) instead of one root-to-leaf descent
+per row, mirroring ``DMTNode.route_batch``.
 """
 
 from __future__ import annotations
@@ -14,8 +21,7 @@ import numpy as np
 from repro.linear.naive_bayes import GaussianNaiveBayes
 from repro.trees.criteria import SplitCriterion
 from repro.trees.observers import (
-    GaussianAttributeObserver,
-    NominalAttributeObserver,
+    LeafObservers,
     SplitSuggestion,
 )
 
@@ -50,6 +56,21 @@ class LeafNode:
         Depth of the leaf in the tree (root = 0).
     """
 
+    __slots__ = (
+        "n_classes",
+        "n_features",
+        "leaf_prediction",
+        "n_split_points",
+        "nominal_features",
+        "depth",
+        "class_dist",
+        "_observers",
+        "weight_at_last_split_attempt",
+        "_naive_bayes",
+        "_mc_correct",
+        "_nb_correct",
+    )
+
     def __init__(
         self,
         n_classes: int,
@@ -76,11 +97,34 @@ class LeafNode:
             if initial_dist is None
             else ensure_length(np.asarray(initial_dist, dtype=float), n_classes)
         )
-        self.observers: dict[int, GaussianAttributeObserver | NominalAttributeObserver] = {}
+        self._observers = LeafObservers(
+            n_features=self.n_features,
+            n_split_points=self.n_split_points,
+            nominal_features=self.nominal_features,
+        )
         self.weight_at_last_split_attempt = float(self.class_dist.sum())
         self._naive_bayes: GaussianNaiveBayes | None = None
         self._mc_correct = 0.0
         self._nb_correct = 0.0
+
+    # ----------------------------------------------------------- observers
+    @property
+    def observers(self) -> LeafObservers:
+        return self._observers
+
+    @observers.setter
+    def observers(self, value) -> None:
+        # Models persisted before the structure-of-arrays layout stored a
+        # dict of per-feature observer objects under this attribute; the
+        # codec restores attributes verbatim, so migrate here.
+        if isinstance(value, dict):
+            value = LeafObservers.from_legacy(
+                n_features=self.n_features,
+                n_split_points=self.n_split_points,
+                nominal_features=self.nominal_features,
+                legacy=value,
+            )
+        self._observers = value
 
     # ------------------------------------------------------------ statistics
     @property
@@ -90,16 +134,6 @@ class LeafNode:
     @property
     def is_pure(self) -> bool:
         return np.count_nonzero(self.class_dist) <= 1
-
-    def _observer_for(self, feature: int):
-        observer = self.observers.get(feature)
-        if observer is None:
-            if feature in self.nominal_features:
-                observer = NominalAttributeObserver()
-            else:
-                observer = GaussianAttributeObserver(self.n_split_points)
-            self.observers[feature] = observer
-        return observer
 
     def _grow_classes(self, n_classes: int) -> None:
         if n_classes > self.n_classes:
@@ -121,14 +155,49 @@ class LeafNode:
                 if nb_prediction == y_idx:
                     self._nb_correct += weight
         self.class_dist[y_idx] += weight
-        for feature in range(self.n_features):
-            self._observer_for(feature).update(x[feature], y_idx, weight)
+        self._observers.update_row(
+            x.tolist() if isinstance(x, np.ndarray) else list(x), y_idx, weight
+        )
         if self.leaf_prediction in {"nb", "nba"}:
             if self._naive_bayes is None:
                 self._naive_bayes = GaussianNaiveBayes(
                     self.n_features, max(self.n_classes, 2)
                 )
             self._naive_bayes.update(x.reshape(1, -1), np.array([y_idx]))
+
+    @property
+    def supports_bulk_learning(self) -> bool:
+        """Whether :meth:`learn_batch` reproduces the per-row loop exactly.
+
+        ``"nba"`` leaves score every observation against the evolving
+        majority/Naive-Bayes predictors, which is inherently sequential.
+        """
+        return self.leaf_prediction != "nba"
+
+    def learn_batch(self, X: np.ndarray, y_idx: np.ndarray, n_classes: int) -> None:
+        """Bulk update with unit-weight rows; bit-identical to the row loop.
+
+        Class counts accumulate sequentially (post-split leaves start from
+        fractional distributions, where one bulk addition would round
+        differently from the reference's unit increments), the observer
+        store preserves the per-cell Welford order and the Naive Bayes
+        update is itself a sequential row loop.
+        """
+        if len(X) == 0:
+            return
+        self._grow_classes(n_classes)
+        dist = self.class_dist.tolist()
+        y_list = y_idx.tolist() if isinstance(y_idx, np.ndarray) else list(y_idx)
+        for class_idx in y_list:
+            dist[class_idx] += 1.0
+        self.class_dist[:] = dist
+        self._observers.update_batch(X, y_idx, y_list=y_list)
+        if self.leaf_prediction == "nb":
+            if self._naive_bayes is None:
+                self._naive_bayes = GaussianNaiveBayes(
+                    self.n_features, max(self.n_classes, 2)
+                )
+            self._naive_bayes.update(X, y_idx)
 
     # -------------------------------------------------------------- predict
     def predict_proba(self, x: np.ndarray, n_classes: int) -> np.ndarray:
@@ -147,25 +216,49 @@ class LeafNode:
         # Adaptive: use Naive Bayes only if it has been at least as accurate.
         return nb_proba if self._nb_correct >= self._mc_correct else majority
 
+    def predict_proba_batch(self, X: np.ndarray, n_classes: int) -> np.ndarray:
+        """Probabilities for a whole sub-batch routed to this leaf.
+
+        Bit-identical to :meth:`predict_proba` per row: the majority vector
+        is shared by every row and the batched Naive Bayes likelihoods use
+        the same per-row reductions as the single-row call.
+        """
+        dist = ensure_length(self.class_dist, n_classes)
+        total = dist.sum()
+        majority = (
+            np.full(n_classes, 1.0 / n_classes) if total == 0 else dist / total
+        )
+        if self.leaf_prediction == "mc" or self._naive_bayes is None:
+            return np.broadcast_to(majority, (len(X), n_classes))
+        raw = self._naive_bayes.predict_proba(X)
+        nb_proba = np.zeros((len(X), n_classes))
+        nb_proba[:, : raw.shape[1]] = raw
+        if self.leaf_prediction == "nb":
+            return nb_proba
+        if self._nb_correct >= self._mc_correct:
+            return nb_proba
+        return np.broadcast_to(majority, (len(X), n_classes))
+
     # ---------------------------------------------------------------- split
     def best_split_suggestions(
-        self, criterion: SplitCriterion
+        self, criterion: SplitCriterion, vectorized: bool = True
     ) -> list[SplitSuggestion]:
         """Best suggestion per feature plus the null (do-not-split) suggestion."""
         suggestions = [
             SplitSuggestion(feature=-1, threshold=0.0, merit=0.0)  # null split
         ]
-        for feature, observer in self.observers.items():
-            suggestion = observer.best_split_suggestion(
-                criterion, self.class_dist, feature
+        suggestions.extend(
+            self._observers.best_split_suggestions(
+                criterion, self.class_dist, vectorized=vectorized
             )
-            if suggestion is not None:
-                suggestions.append(suggestion)
+        )
         return suggestions
 
 
 class SplitNode:
     """A binary split node: ``x[feature] <= threshold`` goes left."""
+
+    __slots__ = ("feature", "threshold", "is_nominal", "class_dist", "depth", "children")
 
     def __init__(
         self,
@@ -207,8 +300,50 @@ class SplitNode:
             return 0 if value == self.threshold else 1
         return 0 if value <= self.threshold else 1
 
+    def branch_mask(self, X: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Boolean left-branch mask of ``X[rows]`` (one comparison per row)."""
+        column = X[rows, self.feature]
+        if self.is_nominal:
+            return column == self.threshold
+        return column <= self.threshold
+
     def child_for(self, x: np.ndarray):
         return self.children[self.branch_for(x)]
+
+
+def route_batch_groups(
+    root, X: np.ndarray, rows: np.ndarray | None = None
+) -> list[tuple[object, np.ndarray]]:
+    """Partition a batch into per-node row groups in one sweep.
+
+    Instead of walking the tree once per row, the batch is partitioned with a
+    boolean mask at every split node on the way down, so each observation is
+    touched once per tree level with vectorized comparisons (the recipe of
+    ``DMTNode.route_batch_groups``).  Returns ``(node, rows)`` pairs covering
+    every requested row exactly once, where ``node`` is a leaf -- or a split
+    node with a missing child, which callers handle like the per-row loops
+    did.  Row indices stay in ascending order within each group.
+    """
+    if rows is None:
+        rows = np.arange(len(X))
+    groups: list[tuple[object, np.ndarray]] = []
+    stack: list[tuple[object, np.ndarray]] = [(root, rows)]
+    while stack:
+        node, node_rows = stack.pop()
+        if not isinstance(node, SplitNode):
+            groups.append((node, node_rows))
+            continue
+        mask = node.branch_mask(X, node_rows)
+        left_rows = node_rows[mask]
+        right_rows = node_rows[~mask]
+        for child, child_rows in ((node.left, left_rows), (node.right, right_rows)):
+            if not len(child_rows):
+                continue
+            if child is None:
+                groups.append((node, child_rows))
+            else:
+                stack.append((child, child_rows))
+    return groups
 
 
 def iter_nodes(root) -> list:

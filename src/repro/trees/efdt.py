@@ -26,6 +26,8 @@ from repro.trees.vfdt import HoeffdingTreeClassifier
 class EFDTSplitNode(SplitNode):
     """Split node that keeps learning statistics for later re-evaluation."""
 
+    __slots__ = ("stats", "weight_at_last_reevaluation")
+
     def __init__(self, stats: LeafNode, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.stats = stats
@@ -56,6 +58,7 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
         max_depth: int | None = None,
         nominal_features: set[int] | None = None,
         reevaluation_period: int = 1000,
+        vectorized: bool = True,
     ) -> None:
         super().__init__(
             grace_period=grace_period,
@@ -66,6 +69,7 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
             n_split_points=n_split_points,
             max_depth=max_depth,
             nominal_features=nominal_features,
+            vectorized=vectorized,
         )
         if reevaluation_period < 1:
             raise ValueError(
@@ -82,6 +86,16 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
         return self
 
     # ---------------------------------------------------------------- learn
+    def _partial_fit_vectorized(self, X: np.ndarray, y_idx: np.ndarray) -> None:
+        """EFDT keeps inner-node statistics alive along every root-to-leaf
+        path, so each row updates ``O(depth)`` learning leaves and training
+        cannot be chunked the way the plain VFDT is.  The vectorized flag
+        still pays off: the split/re-evaluation sweeps (the dominant cost,
+        re-run every ``reevaluation_period`` rows at *every* inner node) and
+        batched inference use the structure-of-arrays kernels."""
+        for row in range(len(X)):
+            self._learn_one(X[row], int(y_idx[row]))
+
     def _learn_one(self, x: np.ndarray, y_idx: int) -> None:
         # Update statistics along the whole path (EFDT keeps inner-node
         # statistics alive), then let the leaf learn, then run checks
@@ -135,12 +149,14 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
     # ---------------------------------------------------------------- split
     def _attempt_split(
         self, leaf: LeafNode, parent: SplitNode | None, branch: int
-    ) -> None:
+    ) -> "EFDTSplitNode | None":
         """EFDT splits as soon as the best attribute beats *not splitting*."""
-        suggestions = leaf.best_split_suggestions(self._criterion)
+        suggestions = leaf.best_split_suggestions(
+            self._criterion, vectorized=self.vectorized
+        )
         real = [s for s in suggestions if s.feature != -1]
         if not real:
-            return
+            return None
         best = max(real, key=lambda suggestion: suggestion.merit)
         bound = hoeffding_bound(
             self._criterion.merit_range(leaf.class_dist),
@@ -150,7 +166,8 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
         null_merit = 0.0
         if best.merit - null_merit > bound or bound < self.tie_threshold:
             if best.merit > 0:
-                self._split_leaf(leaf, best, parent, branch)
+                return self._split_leaf(leaf, best, parent, branch)
+        return None
 
     def _split_leaf(
         self,
@@ -158,7 +175,7 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
         suggestion: SplitSuggestion,
         parent: SplitNode | None,
         branch: int,
-    ) -> None:
+    ) -> "EFDTSplitNode":
         stats = self._new_leaf(depth=leaf.depth, initial_dist=leaf.class_dist)
         stats.observers = leaf.observers
         new_split = EFDTSplitNode(
@@ -180,6 +197,7 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
             )
         self._replace_child(parent, branch, new_split)
         self.n_split_events += 1
+        return new_split
 
     # ----------------------------------------------------------- reevaluate
     def _reevaluate_split(
@@ -193,7 +211,9 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
         Returns ``True`` when the node was replaced.
         """
         self.n_reevaluations += 1
-        suggestions = node.stats.best_split_suggestions(self._criterion)
+        suggestions = node.stats.best_split_suggestions(
+            self._criterion, vectorized=self.vectorized
+        )
         real = [s for s in suggestions if s.feature != -1]
         if not real:
             return False

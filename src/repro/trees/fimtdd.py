@@ -30,12 +30,22 @@ from repro.linear.glm import IncrementalGLM
 from repro.trees.base import tree_depth
 from repro.trees.criteria import VarianceReductionCriterion
 from repro.trees.hoeffding import hoeffding_bound
-from repro.trees.observers import GaussianAttributeObserver, SplitSuggestion
+from repro.trees.observers import LeafObservers, SplitSuggestion
 from repro.utils.validation import check_in_range, check_positive, check_random_state
 
 
 class FIMTLeaf:
     """Leaf of the FIMT-DD classifier: SDR statistics plus a linear model."""
+
+    __slots__ = (
+        "model",
+        "n_features",
+        "n_split_points",
+        "depth",
+        "_observers",
+        "total_weight",
+        "weight_at_last_split_attempt",
+    )
 
     def __init__(
         self,
@@ -48,33 +58,45 @@ class FIMTLeaf:
         self.n_features = int(n_features)
         self.n_split_points = int(n_split_points)
         self.depth = int(depth)
-        self.observers: dict[int, GaussianAttributeObserver] = {}
+        self._observers = LeafObservers(
+            n_features=self.n_features, n_split_points=self.n_split_points
+        )
         self.total_weight = 0.0
         self.weight_at_last_split_attempt = 0.0
 
+    @property
+    def observers(self) -> LeafObservers:
+        return self._observers
+
+    @observers.setter
+    def observers(self, value) -> None:
+        # Pre-refactor payloads stored a dict of per-feature observers.
+        if isinstance(value, dict):
+            value = LeafObservers.from_legacy(
+                n_features=self.n_features,
+                n_split_points=self.n_split_points,
+                nominal_features=None,
+                legacy=value,
+            )
+        self._observers = value
+
     def learn_one(self, x: np.ndarray, y_idx: int) -> None:
         self.total_weight += 1.0
-        for feature in range(self.n_features):
-            observer = self.observers.get(feature)
-            if observer is None:
-                observer = GaussianAttributeObserver(self.n_split_points)
-                self.observers[feature] = observer
-            observer.update(x[feature], y_idx)
+        self._observers.update_row(x.tolist(), y_idx)
         self.model.update(x.reshape(1, -1), np.array([y_idx]))
 
     def best_sdr_suggestions(
-        self, criterion: VarianceReductionCriterion
+        self, criterion: VarianceReductionCriterion, vectorized: bool = True
     ) -> list[SplitSuggestion]:
-        suggestions = []
-        for feature, observer in self.observers.items():
-            suggestion = observer.best_sdr_suggestion(criterion, feature)
-            if suggestion is not None:
-                suggestions.append(suggestion)
-        return suggestions
+        return self._observers.best_sdr_suggestions(
+            criterion, vectorized=vectorized
+        )
 
 
 class FIMTSplitNode:
     """Inner node of the FIMT-DD classifier with a Page-Hinkley drift monitor."""
+
+    __slots__ = ("feature", "threshold", "depth", "page_hinkley", "children")
 
     def __init__(
         self,
@@ -91,6 +113,10 @@ class FIMTSplitNode:
 
     def branch_for(self, x: np.ndarray) -> int:
         return 0 if x[self.feature] <= self.threshold else 1
+
+    def branch_mask(self, X: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Boolean left-branch mask of ``X[rows]``."""
+        return X[rows, self.feature] <= self.threshold
 
     def child_for(self, x: np.ndarray):
         return self.children[self.branch_for(x)]
@@ -117,7 +143,16 @@ class FIMTDDClassifier(StreamClassifier):
         Optional depth limit.
     random_state:
         Seed for the leaf-model initialisation.
+    vectorized:
+        Whether SDR split sweeps and inference use the batched kernels (the
+        default) or the per-threshold / per-row reference loops.  Training
+        statistics are identical either way; batched inference scores each
+        leaf's rows with one matrix operation, which may differ from the
+        per-row loop in the last ulp (BLAS blocking).
     """
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -130,6 +165,7 @@ class FIMTDDClassifier(StreamClassifier):
         ph_threshold: float = 50.0,
         max_depth: int | None = None,
         random_state: int | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         check_positive(learning_rate, "learning_rate")
@@ -145,6 +181,7 @@ class FIMTDDClassifier(StreamClassifier):
         self.ph_threshold = float(ph_threshold)
         self.max_depth = max_depth
         self.random_state = random_state
+        self.vectorized = bool(vectorized)
         self._rng = check_random_state(random_state)
         self._criterion = VarianceReductionCriterion()
         self.root: FIMTLeaf | FIMTSplitNode | None = None
@@ -260,7 +297,9 @@ class FIMTDDClassifier(StreamClassifier):
     def _attempt_split(
         self, leaf: FIMTLeaf, parent: FIMTSplitNode | None, branch: int
     ) -> None:
-        suggestions = leaf.best_sdr_suggestions(self._criterion)
+        suggestions = leaf.best_sdr_suggestions(
+            self._criterion, vectorized=self.vectorized
+        )
         suggestions = [s for s in suggestions if np.isfinite(s.merit) and s.merit > 0]
         if not suggestions:
             return
@@ -303,6 +342,36 @@ class FIMTDDClassifier(StreamClassifier):
         X, _ = self._validate_input(X)
         if self.root is None or self.classes_ is None:
             raise RuntimeError("predict_proba() called before partial_fit().")
+        if not self.vectorized:
+            return self._predict_proba_per_row(X)
+        proba = np.zeros((len(X), self.n_classes_))
+        # One partition per split node, one model evaluation per leaf.
+        stack: list[tuple[FIMTLeaf | FIMTSplitNode, np.ndarray]] = [
+            (self.root, np.arange(len(X)))
+        ]
+        while stack:
+            node, rows = stack.pop()
+            if isinstance(node, FIMTSplitNode):
+                mask = node.branch_mask(X, rows)
+                for branch, child_rows in ((0, rows[mask]), (1, rows[~mask])):
+                    if not len(child_rows):
+                        continue
+                    child = node.children[branch]
+                    if child is None:
+                        child = self._new_leaf(depth=node.depth + 1)
+                        node.children[branch] = child
+                    stack.append((child, child_rows))
+                continue
+            leaf_proba = node.model.predict_proba(X[rows])
+            proba[rows] = leaf_proba[:, : self.n_classes_]
+        row_sums = proba.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return proba / row_sums
+
+    def _predict_proba_per_row(self, X: np.ndarray) -> np.ndarray:
+        """Reference inference: one root-to-leaf walk and one model
+        evaluation per row.  May differ from the batched path in the last
+        ulp (BLAS blocks the batched matmul differently)."""
         proba = np.zeros((len(X), self.n_classes_))
         for row, x in enumerate(X):
             node = self.root

@@ -4,6 +4,14 @@ This is the basic Hoeffding Tree baseline of the paper, evaluated with
 majority-class leaves (``leaf_prediction="mc"``) and with adaptive Naive
 Bayes leaves (``leaf_prediction="nba"``, Gama et al. 2003).  Only binary
 splits are produced, matching the paper's experimental configuration.
+
+Training and inference are vectorized by default: batches are partitioned
+once per split node so every leaf receives one sub-batch, leaf statistics
+are updated in bulk between split attempts, and candidate splits are scored
+with one sweep over all thresholds of all features.  ``vectorized=False``
+retains the original per-row / per-threshold reference loops; both paths are
+bit-identical (same splits, same predictions, same
+``deterministic_summary()``).
 """
 
 from __future__ import annotations
@@ -11,10 +19,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import ComplexityReport, StreamClassifier
-from repro.trees.base import LeafNode, SplitNode, iter_nodes, tree_depth
+from repro.trees.base import (
+    LeafNode,
+    SplitNode,
+    iter_nodes,
+    route_batch_groups,
+    tree_depth,
+)
 from repro.trees.criteria import GiniCriterion, InfoGainCriterion, SplitCriterion
 from repro.trees.hoeffding import hoeffding_bound
 from repro.trees.observers import SplitSuggestion
+from repro.utils.numerics import np_pairwise_sum
 from repro.utils.validation import check_in_range, check_positive
 
 _CRITERIA = {"info_gain": InfoGainCriterion, "gini": GiniCriterion}
@@ -43,7 +58,14 @@ class HoeffdingTreeClassifier(StreamClassifier):
         Optional hard limit on the tree depth.
     nominal_features:
         Indices of nominal features (observed by value instead of Gaussian).
+    vectorized:
+        Whether training and inference use the batched kernels (the default)
+        or the per-row reference loops.  Both paths are bit-identical; the
+        reference exists for verification and benchmarking.
     """
+
+    #: Class-level fallback so payloads written before the flag existed load.
+    vectorized = True
 
     def __init__(
         self,
@@ -55,6 +77,7 @@ class HoeffdingTreeClassifier(StreamClassifier):
         n_split_points: int = 10,
         max_depth: int | None = None,
         nominal_features: set[int] | None = None,
+        vectorized: bool = True,
     ) -> None:
         super().__init__()
         check_positive(grace_period, "grace_period")
@@ -78,6 +101,7 @@ class HoeffdingTreeClassifier(StreamClassifier):
         self.n_split_points = int(n_split_points)
         self.max_depth = max_depth
         self.nominal_features = set(nominal_features or set())
+        self.vectorized = bool(vectorized)
         self.root: LeafNode | SplitNode | None = None
         self._criterion: SplitCriterion = _CRITERIA[split_criterion]()
         self.n_split_events = 0
@@ -111,8 +135,11 @@ class HoeffdingTreeClassifier(StreamClassifier):
         if self.root is None:
             self.root = self._new_leaf(depth=0)
         y_idx = self.class_index(y)
-        for row in range(len(X)):
-            self._learn_one(X[row], int(y_idx[row]))
+        if self.vectorized:
+            self._partial_fit_vectorized(X, y_idx)
+        else:
+            for row in range(len(X)):
+                self._learn_one(X[row], int(y_idx[row]))
         return self
 
     def _learn_one(self, x: np.ndarray, y_idx: int) -> None:
@@ -127,6 +154,298 @@ class HoeffdingTreeClassifier(StreamClassifier):
                 leaf.weight_at_last_split_attempt = weight_seen
                 self._attempt_split(leaf, parent, branch)
 
+    # ---------------------------------------------------- vectorized fitting
+    def _partial_fit_vectorized(self, X: np.ndarray, y_idx: np.ndarray) -> None:
+        """Batched training, bit-identical to the per-row reference loop.
+
+        The batch is partitioned once per split node; each leaf then learns
+        its rows in bulk up to the next split-attempt trigger (computed by an
+        exact scalar simulation of the per-row weight/purity checks).  When
+        an attempt splits the leaf, the not-yet-consumed rows are re-routed
+        through the fresh split node.
+        """
+        # Plain-float views of the batch, materialised only when a small
+        # group actually takes one of the scalar paths below (large batches
+        # on shallow trees never need them).
+        lists_cache: list = [None, None]
+        stack: list[tuple[object, SplitNode | None, int, np.ndarray]] = [
+            (self.root, None, 0, np.arange(len(X)))
+        ]
+        while stack:
+            node, parent, branch, rows = stack.pop()
+            if isinstance(node, SplitNode):
+                if len(rows) <= 8:
+                    X_list, _ = self._batch_lists(X, y_idx, lists_cache)
+                    # A mask partition touches every split node below; for a
+                    # handful of rows a per-row descent over plain Python
+                    # floats is cheaper (routing has no floating-point
+                    # accumulation, so either strategy lands the rows on the
+                    # same leaves).
+                    groups: dict[int, list] = {}
+                    for row in rows.tolist():
+                        values = X_list[row]
+                        walker = node
+                        walk_parent, walk_branch = parent, branch
+                        while isinstance(walker, SplitNode):
+                            walk_parent = walker
+                            value = values[walker.feature]
+                            if walker.is_nominal:
+                                walk_branch = 0 if value == walker.threshold else 1
+                            else:
+                                walk_branch = 0 if value <= walker.threshold else 1
+                            child = walker.children[walk_branch]
+                            if child is None:
+                                child = self._new_leaf(depth=walker.depth + 1)
+                                walker.children[walk_branch] = child
+                            walker = child
+                        entry = groups.get(id(walker))
+                        if entry is None:
+                            groups[id(walker)] = [walker, walk_parent, walk_branch, [row]]
+                        else:
+                            entry[3].append(row)
+                    for leaf, leaf_parent, leaf_branch, row_list in groups.values():
+                        stack.append(
+                            (leaf, leaf_parent, leaf_branch, np.asarray(row_list))
+                        )
+                    continue
+                mask = node.branch_mask(X, rows)
+                for child_branch, child_rows in (
+                    (0, rows[mask]),
+                    (1, rows[~mask]),
+                ):
+                    if not len(child_rows):
+                        continue
+                    child = node.children[child_branch]
+                    if child is None:
+                        child = self._new_leaf(depth=node.depth + 1)
+                        node.children[child_branch] = child
+                    stack.append((child, node, child_branch, child_rows))
+                continue
+            self._learn_leaf_group(
+                node, parent, branch, rows, X, y_idx, lists_cache, stack
+            )
+
+    @staticmethod
+    def _batch_lists(
+        X: np.ndarray, y_idx: np.ndarray, lists_cache: list
+    ) -> tuple[list, list]:
+        """Lazily materialised ``(X.tolist(), y_idx.tolist())`` of the batch."""
+        if lists_cache[0] is None:
+            lists_cache[0] = X.tolist()
+            lists_cache[1] = y_idx.tolist()
+        return lists_cache[0], lists_cache[1]
+
+    def _learn_leaf_group(
+        self,
+        leaf: LeafNode,
+        parent: SplitNode | None,
+        branch: int,
+        rows: np.ndarray,
+        X: np.ndarray,
+        y_idx: np.ndarray,
+        lists_cache: list,
+        stack: list,
+    ) -> None:
+        n_classes = max(self.n_classes_, 2)
+        if not leaf.supports_bulk_learning:
+            # "nba" bookkeeping is sequential; keep the per-row loop but stay
+            # inside the batched routing (re-routing after a split).
+            for position in range(len(rows)):
+                row = rows[position]
+                leaf.learn_one(X[row], int(y_idx[row]), n_classes=n_classes)
+                if self._can_split(leaf):
+                    weight_seen = leaf.total_weight
+                    if (
+                        weight_seen - leaf.weight_at_last_split_attempt
+                        >= self.grace_period
+                    ):
+                        leaf.weight_at_last_split_attempt = weight_seen
+                        new_node = self._attempt_split(leaf, parent, branch)
+                        if new_node is not None:
+                            if position + 1 < len(rows):
+                                stack.append(
+                                    (new_node, parent, branch, rows[position + 1 :])
+                                )
+                            return
+            return
+
+        leaf._grow_classes(n_classes)
+        if self.max_depth is not None and leaf.depth >= self.max_depth:
+            # The leaf can never split: no triggers to scan for.
+            leaf.learn_batch(X[rows], y_idx[rows], n_classes)
+            return
+
+        if leaf.leaf_prediction == "mc" and len(rows) <= 16:
+            # Tiny sub-batches (deep trees, small batches): the chunked
+            # machinery below costs more than it saves, so run a lean
+            # scalar loop -- the same mirror/observer primitives, no numpy
+            # slicing.  Bit-identical to the chunked and per-row paths.
+            X_list, y_list = self._batch_lists(X, y_idx, lists_cache)
+            self._learn_leaf_group_small(
+                leaf, parent, branch, rows, X_list, y_list, stack
+            )
+            return
+
+        # Scalar simulation of the per-row trigger checks: the Python floats
+        # track the numpy class counts exactly (unit increments are exact)
+        # and np_pairwise_sum reproduces ndarray.sum() bit-for-bit.
+        dist = leaf.class_dist.tolist()
+        nonzero = 0
+        for value in dist:
+            if value != 0.0:
+                nonzero += 1
+        is_mc = leaf.leaf_prediction == "mc"
+        last_attempt = leaf.weight_at_last_split_attempt
+        grace = self.grace_period
+        y_rows = y_idx[rows].tolist()
+        # numpy sums sequentially below 8 elements; inline that common case.
+        small_dist = len(dist) < 8
+        position = 0
+        total_rows = len(rows)
+        while position < total_rows:
+            trigger = None
+            trigger_weight = 0.0
+            # Rows far below the grace boundary cannot trigger an attempt:
+            # every row adds exactly 1.0 to the leaf weight, so (with a
+            # two-row margin for pairwise-summation rounding) the deficit
+            # bounds how many rows can be consumed without any check.
+            if small_dist:
+                current_weight = 0.0
+                for value in dist:
+                    current_weight += value
+            else:
+                current_weight = np_pairwise_sum(dist)
+            skip = min(
+                int(grace - (current_weight - last_attempt)) - 2,
+                total_rows - position,
+            )
+            scan_from = position
+            if skip > 0:
+                for index in range(position, position + skip):
+                    class_idx = y_rows[index]
+                    if dist[class_idx] == 0.0:
+                        nonzero += 1
+                    dist[class_idx] += 1.0
+                scan_from = position + skip
+            for index in range(scan_from, total_rows):
+                class_idx = y_rows[index]
+                if dist[class_idx] == 0.0:
+                    nonzero += 1
+                dist[class_idx] += 1.0
+                if small_dist:
+                    weight_seen = 0.0
+                    for value in dist:
+                        weight_seen += value
+                else:
+                    weight_seen = np_pairwise_sum(dist)
+                if nonzero > 1 and weight_seen - last_attempt >= grace:
+                    trigger = index
+                    trigger_weight = weight_seen
+                    break
+            if trigger is None:
+                tail = rows[position:]
+                if is_mc:
+                    # The scanner's Python mirror already holds the exact
+                    # final class counts; write them back and feed only the
+                    # observer store.
+                    leaf.class_dist[:] = dist
+                    leaf.observers.update_batch(
+                        X[tail], None, y_list=y_rows[position:]
+                    )
+                else:
+                    leaf.learn_batch(X[tail], y_idx[tail], n_classes)
+                return
+            chunk = rows[position : trigger + 1]
+            if is_mc:
+                leaf.class_dist[:] = dist
+                leaf.observers.update_batch(
+                    X[chunk], None, y_list=y_rows[position : trigger + 1]
+                )
+            else:
+                leaf.learn_batch(X[chunk], y_idx[chunk], n_classes)
+            leaf.weight_at_last_split_attempt = last_attempt = trigger_weight
+            new_node = self._attempt_split(leaf, parent, branch)
+            if new_node is not None:
+                if trigger + 1 < total_rows:
+                    stack.append((new_node, parent, branch, rows[trigger + 1 :]))
+                return
+            position = trigger + 1
+
+    def _learn_leaf_group_small(
+        self,
+        leaf: LeafNode,
+        parent: SplitNode | None,
+        branch: int,
+        rows: np.ndarray,
+        X_list: list,
+        y_list: list,
+        stack: list,
+    ) -> None:
+        grace = self.grace_period
+        last_attempt = leaf.weight_at_last_split_attempt
+        observers = leaf.observers
+        dist = leaf.class_dist.tolist()
+        small_dist = len(dist) < 8
+        nonzero = 0
+        for value in dist:
+            if value != 0.0:
+                nonzero += 1
+        # Inline the all-numeric unit-weight branch of
+        # LeafObservers.update_row: per-row method dispatch is the largest
+        # remaining cost of this loop.  grow_classes appends to the same
+        # list objects, so the bindings below survive class growth.
+        plain_store = not observers.nominal_features
+        weights_by_class = observers._weights
+        means_by_class = observers._means
+        m2_by_class = observers._m2
+        mins = observers._mins
+        maxs = observers._maxs
+        row_list = rows.tolist()
+        total_rows = len(row_list)
+        for position in range(total_rows):
+            row = row_list[position]
+            class_idx = y_list[row]
+            if dist[class_idx] == 0.0:
+                nonzero += 1
+            dist[class_idx] += 1.0
+            if plain_store:
+                if class_idx >= observers.n_classes:
+                    observers.grow_classes(class_idx + 1)
+                weights = weights_by_class[class_idx]
+                means = means_by_class[class_idx]
+                m2 = m2_by_class[class_idx]
+                for feature, value in enumerate(X_list[row]):
+                    new_weight = weights[feature] + 1.0
+                    delta = value - means[feature]
+                    new_mean = means[feature] + delta / new_weight
+                    m2[feature] += delta * (value - new_mean)
+                    means[feature] = new_mean
+                    weights[feature] = new_weight
+                    if value < mins[feature]:
+                        mins[feature] = value
+                    if value > maxs[feature]:
+                        maxs[feature] = value
+            else:
+                observers.update_row(X_list[row], class_idx, 1.0)
+            if nonzero > 1:
+                if small_dist:
+                    weight_seen = 0.0
+                    for value in dist:
+                        weight_seen += value
+                else:
+                    weight_seen = np_pairwise_sum(dist)
+                if weight_seen - last_attempt >= grace:
+                    leaf.class_dist[:] = dist
+                    leaf.weight_at_last_split_attempt = last_attempt = weight_seen
+                    new_node = self._attempt_split(leaf, parent, branch)
+                    if new_node is not None:
+                        if position + 1 < total_rows:
+                            stack.append(
+                                (new_node, parent, branch, rows[position + 1 :])
+                            )
+                        return
+        leaf.class_dist[:] = dist
+
     def _can_split(self, leaf: LeafNode) -> bool:
         if leaf.is_pure:
             return False
@@ -138,7 +457,12 @@ class HoeffdingTreeClassifier(StreamClassifier):
         self, x: np.ndarray
     ) -> tuple[LeafNode, SplitNode | None, int]:
         """Walk the tree and return (leaf, parent split node, branch index)."""
-        node = self.root
+        return self._descend_from(self.root, x)
+
+    def _descend_from(
+        self, node, x: np.ndarray
+    ) -> tuple[LeafNode, SplitNode | None, int]:
+        """Walk from ``node`` to the leaf for ``x``, creating missing children."""
         parent: SplitNode | None = None
         branch = 0
         while isinstance(node, SplitNode):
@@ -154,11 +478,14 @@ class HoeffdingTreeClassifier(StreamClassifier):
     # ---------------------------------------------------------------- split
     def _attempt_split(
         self, leaf: LeafNode, parent: SplitNode | None, branch: int
-    ) -> None:
-        suggestions = leaf.best_split_suggestions(self._criterion)
+    ) -> SplitNode | None:
+        """Try to split ``leaf``; return the new split node if one was made."""
+        suggestions = leaf.best_split_suggestions(
+            self._criterion, vectorized=self.vectorized
+        )
         suggestions.sort(key=lambda suggestion: suggestion.merit)
         if len(suggestions) < 2:
-            return
+            return None
         best, second = suggestions[-1], suggestions[-2]
         bound = hoeffding_bound(
             self._criterion.merit_range(leaf.class_dist),
@@ -169,7 +496,8 @@ class HoeffdingTreeClassifier(StreamClassifier):
             best.merit - second.merit > bound or bound < self.tie_threshold
         )
         if should_split:
-            self._split_leaf(leaf, best, parent, branch)
+            return self._split_leaf(leaf, best, parent, branch)
+        return None
 
     def _split_leaf(
         self,
@@ -177,7 +505,7 @@ class HoeffdingTreeClassifier(StreamClassifier):
         suggestion: SplitSuggestion,
         parent: SplitNode | None,
         branch: int,
-    ) -> None:
+    ) -> SplitNode:
         new_split = SplitNode(
             feature=suggestion.feature,
             threshold=suggestion.threshold,
@@ -196,6 +524,7 @@ class HoeffdingTreeClassifier(StreamClassifier):
             )
         self._replace_child(parent, branch, new_split)
         self.n_split_events += 1
+        return new_split
 
     def _replace_child(
         self, parent: SplitNode | None, branch: int, new_node
@@ -212,28 +541,43 @@ class HoeffdingTreeClassifier(StreamClassifier):
             raise RuntimeError("predict_proba() called before partial_fit().")
         n_classes = max(self.n_classes_, 2)
         proba = np.zeros((len(X), self.n_classes_))
-        for row, x in enumerate(X):
-            node = self.root
-            while isinstance(node, SplitNode):
-                child = node.child_for(x)
-                if child is None:
-                    break
-                node = child
-            if isinstance(node, SplitNode):
-                dist = node.class_dist
-                total = dist.sum()
-                leaf_proba = (
-                    np.full(n_classes, 1.0 / n_classes)
-                    if total == 0
-                    else np.pad(dist, (0, max(n_classes - len(dist), 0)))[:n_classes]
-                    / total
-                )
-            else:
-                leaf_proba = node.predict_proba(x, n_classes)
-            proba[row] = leaf_proba[: self.n_classes_]
+        if self.vectorized:
+            for node, rows in route_batch_groups(self.root, X):
+                if isinstance(node, SplitNode):
+                    # Missing child on the routed branch: fall back to the
+                    # split node's class distribution, as the per-row walk
+                    # does when it cannot descend further.
+                    proba[rows] = self._split_node_proba(node, n_classes)[
+                        : self.n_classes_
+                    ]
+                else:
+                    proba[rows] = node.predict_proba_batch(X[rows], n_classes)[
+                        :, : self.n_classes_
+                    ]
+        else:
+            for row, x in enumerate(X):
+                node = self.root
+                while isinstance(node, SplitNode):
+                    child = node.child_for(x)
+                    if child is None:
+                        break
+                    node = child
+                if isinstance(node, SplitNode):
+                    leaf_proba = self._split_node_proba(node, n_classes)
+                else:
+                    leaf_proba = node.predict_proba(x, n_classes)
+                proba[row] = leaf_proba[: self.n_classes_]
         row_sums = proba.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return proba / row_sums
+
+    @staticmethod
+    def _split_node_proba(node: SplitNode, n_classes: int) -> np.ndarray:
+        dist = node.class_dist
+        total = dist.sum()
+        if total == 0:
+            return np.full(n_classes, 1.0 / n_classes)
+        return np.pad(dist, (0, max(n_classes - len(dist), 0)))[:n_classes] / total
 
     # ------------------------------------------------------- interpretability
     def _count_nodes(self) -> tuple[int, int]:

@@ -16,7 +16,12 @@ def check_features(X: np.ndarray) -> np.ndarray:
         raise ValueError(f"X must be 2-dimensional, got shape {X.shape}.")
     if X.shape[0] == 0 or X.shape[1] == 0:
         raise ValueError(f"X must be non-empty, got shape {X.shape}.")
-    if not np.all(np.isfinite(X)):
+    # Cheap screen first: a finite sum implies every element is finite
+    # (any NaN propagates, any infinity yields an infinite or NaN sum).
+    # Only a finite-overflow false alarm pays for the elementwise check.
+    with np.errstate(over="ignore"):
+        screen = X.sum()
+    if not np.isfinite(screen) and not np.all(np.isfinite(X)):
         raise ValueError("X contains NaN or infinite values.")
     return X
 
