@@ -1,0 +1,246 @@
+"""Telemetry overhead benchmark: the observability layer must be ~free.
+
+Three arms per hot path:
+
+- ``disabled_a`` / ``disabled_b``: two identical passes with telemetry off.
+  The spread between them calibrates the machine's timing noise and pins the
+  disabled-path contract: an instrumented call site costs one boolean check,
+  so two disabled passes must be indistinguishable from each other.
+- ``enabled``: the same pass with metrics, events and spans live.
+
+Hot paths: DMT ``partial_fit`` training (batch 32 and 256) and
+``ScoringService`` batched inference.  The acceptance gate of the telemetry
+subsystem is ``enabled / disabled < 1.05`` (less than 5% overhead) on every
+path at batch >= 32.
+
+Contention noise on a shared machine is strictly additive, so the gated
+ratios are computed from **per-chunk minima**: each pass times every batch
+(or request) individually, arms are interleaved (order rotating per
+repeat), and the per-arm cost is the sum of the elementwise minima across
+all repeats.  A contention spike then only poisons the one sub-millisecond
+chunk it landed on, not a whole pass, so the minima converge even on a
+loaded single-core box.  The median of the per-repeat paired ratios is
+reported alongside as a diagnostic of how noisy the machine was.
+
+Results go to ``BENCH_telemetry.json`` next to the repository root.  Run
+with::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry.py
+
+Environment knobs: ``REPRO_BENCH_TELEMETRY_ROWS`` (training rows, default
+1_024), ``REPRO_BENCH_TELEMETRY_SERVE_ROWS`` (serving rows, default
+65_536), ``REPRO_BENCH_TELEMETRY_REPEATS`` (interleaved repeats, default 40),
+``REPRO_BENCH_TELEMETRY_GATE`` (enabled-overhead ratio gate, default 1.05)
+and ``REPRO_BENCH_TELEMETRY_NOISE`` (disabled-vs-disabled band, default
+1.10) -- CI loosens the two gates because wall-clock ratios on shared
+runners flake under load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro import DynamicModelTree, ModelRegistry, ScoringService
+from repro.streams.synthetic import SEAGenerator
+from repro.telemetry import TELEMETRY
+
+OUTPUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_telemetry.json")
+#: Enabled-path acceptance gate: < 5% overhead over the disabled path.
+OVERHEAD_GATE = float(os.environ.get("REPRO_BENCH_TELEMETRY_GATE", "1.05"))
+#: Disabled-vs-disabled band: two telemetry-off passes must agree within it.
+#: The arms run identical code, so this is a sanity check on the machine's
+#: residual timing noise, slightly wider than the overhead gate.
+NOISE_GATE = float(os.environ.get("REPRO_BENCH_TELEMETRY_NOISE", "1.10"))
+
+ARMS = ("disabled_a", "disabled_b", "enabled")
+
+
+def _data(n_rows: int, seed: int):
+    X, y = SEAGenerator(n_samples=n_rows, noise=0.05, seed=seed).next_sample(n_rows)
+    return X, y.astype(int)
+
+
+def _configure(arm: str) -> None:
+    # Arms only flip the enabled flag: metrics, cached handles and the event
+    # ring persist across passes, so the enabled arm measures the steady
+    # state of a long-running process instead of re-paying first-touch
+    # metric creation after a reset on the first chunk of every pass.
+    if arm == "enabled":
+        TELEMETRY.enable()
+    else:
+        TELEMETRY.disable()
+
+
+def _train_pass(X, y, batch_size: int):
+    def run() -> list[float]:
+        model = DynamicModelTree(random_state=7)
+        chunks = []
+        for start in range(0, len(X), batch_size):
+            X_batch = X[start : start + batch_size]
+            y_batch = y[start : start + batch_size]
+            started = time.perf_counter()
+            model.partial_fit(X_batch, y_batch, classes=[0, 1])
+            chunks.append(time.perf_counter() - started)
+        return chunks
+
+    return run, len(X)
+
+
+def _serve_pass(X, y, batch_size: int):
+    model = DynamicModelTree(random_state=7)
+    model.partial_fit(X[:2048], y[:2048], classes=[0, 1])
+    registry = ModelRegistry()
+    registry.register("bench", model)
+    service = ScoringService(registry, max_batch_size=batch_size)
+
+    def run() -> list[float]:
+        chunks = []
+        for start in range(0, len(X), batch_size):
+            X_batch = X[start : start + batch_size]
+            started = time.perf_counter()
+            service.predict("bench", X_batch)
+            chunks.append(time.perf_counter() - started)
+        return chunks
+
+    return run, len(X)
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return 0.5 * (ordered[middle - 1] + ordered[middle])
+
+
+def measure(paths: dict, repeats: int) -> dict:
+    """Per-path chunk-minima times plus paired-ratio noise diagnostics.
+
+    Every pass returns per-chunk (per batch / per request) durations;
+    background load only ever *adds* time, so the elementwise minimum over
+    all repeats converges on the true cost of each chunk, and their sum is
+    the arm's contention-free pass time.  Each repeat also runs the three
+    arms of a path back-to-back (arm order rotating) and contributes one
+    paired ``enabled / disabled`` and one ``disabled_b / disabled_a``
+    whole-pass ratio, whose medians are reported as a diagnostic of the
+    machine's noise during the run.
+    """
+    best: dict = {name: dict.fromkeys(ARMS) for name in paths}
+    ratios = {name: {"overhead": [], "noise": []} for name in paths}
+    # Warm code caches and create every metric first-touch with telemetry
+    # live, so no timed chunk pays one-off setup costs.
+    TELEMETRY.reset()
+    TELEMETRY.enable()
+    for pass_fn, _ in paths.values():
+        pass_fn()
+    TELEMETRY.disable()
+    for repeat in range(repeats):
+        for name, (pass_fn, n_rows) in paths.items():
+            seconds = {}
+            for offset in range(len(ARMS)):
+                arm = ARMS[(repeat + offset) % len(ARMS)]
+                _configure(arm)
+                chunks = pass_fn()
+                seconds[arm] = sum(chunks) / n_rows
+                minima = best[name][arm]
+                best[name][arm] = (
+                    list(chunks)
+                    if minima is None
+                    else [min(a, b) for a, b in zip(minima, chunks)]
+                )
+            disabled = min(seconds["disabled_a"], seconds["disabled_b"])
+            ratios[name]["overhead"].append(seconds["enabled"] / disabled)
+            ratios[name]["noise"].append(
+                max(seconds["disabled_a"], seconds["disabled_b"]) / disabled
+            )
+    TELEMETRY.reset()
+    results = {}
+    for name, (_, n_rows) in paths.items():
+        per_row = {arm: sum(best[name][arm]) / n_rows for arm in ARMS}
+        disabled = min(per_row["disabled_a"], per_row["disabled_b"])
+        results[name] = {
+            "best": per_row,
+            "overhead": per_row["enabled"] / disabled,
+            "noise": max(per_row["disabled_a"], per_row["disabled_b"])
+            / disabled,
+            "paired_overhead_median": _median(ratios[name]["overhead"]),
+            "paired_noise_median": _median(ratios[name]["noise"]),
+        }
+    return results
+
+
+def main() -> dict:
+    train_rows = int(os.environ.get("REPRO_BENCH_TELEMETRY_ROWS", "1024"))
+    serve_rows = int(os.environ.get("REPRO_BENCH_TELEMETRY_SERVE_ROWS", "65536"))
+    repeats = int(os.environ.get("REPRO_BENCH_TELEMETRY_REPEATS", "40"))
+
+    X_train, y_train = _data(train_rows, seed=1)
+    X_serve, y_serve = _data(serve_rows, seed=2)
+    paths = {
+        "dmt_train_b32": _train_pass(X_train, y_train, 32),
+        "dmt_train_b256": _train_pass(X_train, y_train, 256),
+        "serving_b1024": _serve_pass(X_serve, y_serve, 1024),
+    }
+    measured = measure(paths, repeats)
+
+    records, failures = {}, {}
+    for name, result in measured.items():
+        overhead, noise = result["overhead"], result["noise"]
+        records[name] = {
+            "rows_per_second": {
+                arm: round(1.0 / seconds)
+                for arm, seconds in result["best"].items()
+            },
+            "enabled_overhead": round(overhead, 4),
+            "disabled_noise": round(noise, 4),
+            "paired_overhead_median": round(result["paired_overhead_median"], 4),
+            "paired_noise_median": round(result["paired_noise_median"], 4),
+        }
+        if overhead >= OVERHEAD_GATE:
+            failures[f"{name}/enabled_overhead"] = round(overhead, 4)
+        if noise >= NOISE_GATE:
+            failures[f"{name}/disabled_noise"] = round(noise, 4)
+
+    document = {
+        "benchmark": "telemetry_overhead",
+        "train_rows": train_rows,
+        "serve_rows": serve_rows,
+        "repeats": repeats,
+        "overhead_gate": OVERHEAD_GATE,
+        "noise_gate": NOISE_GATE,
+        "paths": records,
+        "gate_failures": failures,
+    }
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in records)
+    print(
+        f"{'hot path':<{width}}  disabled r/s   enabled r/s  overhead"
+        "     noise"
+    )
+    for name, record in records.items():
+        rates = record["rows_per_second"]
+        print(
+            f"{name:<{width}}  {max(rates['disabled_a'], rates['disabled_b']):>12,}"
+            f"  {rates['enabled']:>12,}"
+            f"  {record['enabled_overhead']:>7.3f}x"
+            f"  {record['disabled_noise']:>7.3f}x"
+        )
+    if failures:
+        raise SystemExit(
+            f"Telemetry overhead gate (enabled < {OVERHEAD_GATE}x disabled, "
+            f"disabled noise < {NOISE_GATE}x) failed for: {sorted(failures)}"
+        )
+    print(
+        f"\nTelemetry under the {OVERHEAD_GATE}x enabled-overhead gate "
+        f"-> {OUTPUT_PATH}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,11 @@ This example walks the full deployment loop of the serving subsystem:
    error stream fires, and the shadow-scored challenger is promoted -- an
    atomic hot swap the scoring service picks up on its next request.
 
+The whole loop runs with telemetry enabled, so at the end the structured
+event log shows every hot swap, drift and promotion, and the metrics
+registry has exact latency percentiles for the scoring service (see the
+README's "Observability" section).
+
 Run with::
 
     PYTHONPATH=src python examples/serving_hot_swap.py
@@ -30,6 +35,7 @@ from repro import (
     ScoringService,
     load_model,
     save_model,
+    telemetry,
 )
 from repro.drift import DDM
 
@@ -50,6 +56,7 @@ def train(model: DynamicModelTree, X: np.ndarray, y: np.ndarray) -> DynamicModel
 
 
 def main() -> None:
+    telemetry.enable()
     X, y_a, y_b = make_stream(6000, seed=0)
 
     # ------------------------------------------------- 1. train + save
@@ -94,7 +101,19 @@ def main() -> None:
     print(f"active version: {active.key} (metadata: {active.metadata.get('role')})")
     accuracy = float(np.mean(service.predict("fraud-scorer", X[:1000]) == y_b[:1000]))
     print(f"serving v{active.version}, accuracy on concept B: {accuracy:.3f}")
-    print(f"service stats: {service.stats('fraud-scorer')}")
+    stats = service.stats("fraud-scorer")
+    print(
+        f"service stats: {stats['n_requests']} requests, "
+        f"{stats['rows_per_second']:,.0f} rows/s, latency p50/p95/p99 = "
+        f"{stats['p50_latency_seconds'] * 1e6:.0f}/"
+        f"{stats['p95_latency_seconds'] * 1e6:.0f}/"
+        f"{stats['p99_latency_seconds'] * 1e6:.0f} us"
+    )
+
+    # -------------------------------------- 5. what telemetry recorded
+    print(f"telemetry events: {telemetry.TELEMETRY.events.counts_by_kind()}")
+    paths = telemetry.export_run(f"{model_dir}/telemetry")
+    print(f"exported {sorted(paths)} -> {model_dir}/telemetry")
     shutil.rmtree(model_dir)
 
 

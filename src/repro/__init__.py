@@ -20,6 +20,11 @@ The most important entry points are:
   ``load_model``) with bit-exact round-trips for every learner.
 * :mod:`repro.serving` -- model registry with atomic hot-swap, a batched
   scoring service and champion/challenger deployments.
+* :mod:`repro.telemetry` -- opt-in observability: a process-wide metrics
+  registry (counters, gauges, latency histograms with exact percentiles),
+  a structured event log (drift detections, tree splits/prunes, hot swaps)
+  and span tracing.  Disabled by default and zero-cost when off; enable
+  with ``repro.telemetry.enable()`` or ``REPRO_TELEMETRY=1``.
 """
 
 from repro.base import StreamClassifier, ComplexityReport

@@ -31,6 +31,27 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.gains import approximate_candidate_loss, split_gain
+from repro.telemetry import DMT_CANDIDATES, TELEMETRY
+
+#: Cached admitted/evicted counter handles, stamped with the metric
+#: registry generation they were resolved under (a registry ``clear()``
+#: bumps the generation and invalidates them).  Candidate updates are the
+#: most frequent instrumented site in DMT training, so the labelled
+#: registry lookup is hoisted out of the per-update path.
+_COUNTERS: dict = {"generation": -1}
+
+
+def _candidate_counters():
+    registry = TELEMETRY.registry
+    if _COUNTERS["generation"] != registry.generation:
+        _COUNTERS["admitted"] = registry.counter(
+            "repro.dmt.candidates_admitted_total"
+        )
+        _COUNTERS["evicted"] = registry.counter(
+            "repro.dmt.candidates_evicted_total"
+        )
+        _COUNTERS["generation"] = registry.generation
+    return _COUNTERS["admitted"], _COUNTERS["evicted"]
 
 
 @dataclass
@@ -574,6 +595,17 @@ class CandidateManager:
             )
         if evicted or admitted:
             self._rebuild_key_index()
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    DMT_CANDIDATES,
+                    n_admitted=len(admitted),
+                    n_evicted=len(evicted),
+                    n_stored=len(self._features),
+                )
+                admitted_total, evicted_total = _candidate_counters()
+                admitted_total.inc(len(admitted))
+                if evicted:
+                    evicted_total.inc(len(evicted))
 
     def _propose_fresh(self, X: np.ndarray, augmented: np.ndarray):
         """Statistics of the batch's informative, not-yet-stored candidates.

@@ -15,11 +15,14 @@ robustness thresholds (Section V-C), so the tree
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.base import ComplexityReport, StreamClassifier
 from repro.core.nodes import DMTNode
 from repro.linear.glm import IncrementalGLM
+from repro.telemetry import DMT_PRUNE, DMT_RESPLIT, DMT_SPLIT, TELEMETRY
 from repro.utils.validation import check_in_range, check_positive, check_random_state
 
 
@@ -146,7 +149,22 @@ class DynamicModelTree(StreamClassifier):
             self.root = self._make_node()
         y_idx = self.class_index(y)
 
-        self._update_recursive(self.root, X, y_idx, depth=0)
+        if not TELEMETRY.enabled:
+            self._update_recursive(self.root, X, y_idx, depth=0)
+            return self
+        # Training runs once per mini-batch, so like ``predict_proba`` the
+        # span is inlined: push the path by hand instead of allocating a
+        # Span context manager.
+        tracer = TELEMETRY.tracer
+        stack = tracer._stack()
+        path = stack[-1] + "/dmt.partial_fit" if stack else "dmt.partial_fit"
+        stack.append(path)
+        started = perf_counter()
+        try:
+            self._update_recursive(self.root, X, y_idx, depth=0)
+        finally:
+            stack.pop()
+            tracer._histogram(path).observe(perf_counter() - started)
         return self
 
     def _update_recursive(
@@ -177,6 +195,15 @@ class DynamicModelTree(StreamClassifier):
             return
         if gain >= node.leaf_split_threshold(self.epsilon):
             node.apply_split(candidate)
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    DMT_SPLIT,
+                    feature=int(candidate.feature),
+                    threshold=float(candidate.threshold),
+                    gain=float(gain),
+                    depth=int(depth),
+                )
+                TELEMETRY.counter("repro.dmt.splits_total").inc()
 
     def _try_restructure_inner(self, node: DMTNode) -> None:
         """Apply the inner-node checks of Figure 2(b): gains (4) and (5)."""
@@ -196,8 +223,19 @@ class DynamicModelTree(StreamClassifier):
         if prune_ok and (not resplit_ok or to_leaf_gain >= resplit_gain):
             # Both options positive -> keep the overall smaller tree.
             node.collapse_to_leaf()
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(DMT_PRUNE, gain=float(to_leaf_gain))
+                TELEMETRY.counter("repro.dmt.prunes_total").inc()
         elif resplit_ok:
             node.apply_split(candidate)
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    DMT_RESPLIT,
+                    feature=int(candidate.feature),
+                    threshold=float(candidate.threshold),
+                    gain=float(resplit_gain),
+                )
+                TELEMETRY.counter("repro.dmt.resplits_total").inc()
 
     # ------------------------------------------------------------ inference
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -211,14 +249,32 @@ class DynamicModelTree(StreamClassifier):
         X, _ = self._validate_input(X)
         if self.root is None or self.classes_ is None:
             raise RuntimeError("predict_proba() called before partial_fit().")
+        if not TELEMETRY.enabled:
+            return self._predict_proba_batch(X)
+        # Inference is the hottest traced region in the package (one call
+        # per scoring request), so the span is inlined: push the path by
+        # hand instead of allocating a Span context manager.
+        tracer = TELEMETRY.tracer
+        stack = tracer._stack()
+        path = stack[-1] + "/dmt.predict_proba" if stack else "dmt.predict_proba"
+        stack.append(path)
+        started = perf_counter()
+        try:
+            return self._predict_proba_batch(X)
+        finally:
+            stack.pop()
+            tracer._histogram(path).observe(perf_counter() - started)
+
+    def _predict_proba_batch(self, X: np.ndarray) -> np.ndarray:
         n_model_classes = self.root.model.n_classes
         width = min(n_model_classes, self.n_classes_)
         proba = np.zeros((len(X), self.n_classes_))
         for leaf, rows in self.root.route_batch_groups(X):
             leaf_proba = leaf.model.predict_proba(X[rows])
             proba[rows, :width] = leaf_proba[:, :width]
-        # If fewer classes were observed than the model supports (binary GLM
-        # always emits two columns), renormalise over the observed classes.
+        # If fewer classes were observed than the model supports (binary
+        # GLM always emits two columns), renormalise over the observed
+        # classes.
         row_sums = proba.sum(axis=1, keepdims=True)
         row_sums[row_sums == 0.0] = 1.0
         return proba / row_sums

@@ -18,6 +18,7 @@ import math
 import numpy as np
 
 from repro.drift.base import BaseDriftDetector
+from repro.telemetry import TELEMETRY
 
 
 class _BucketRow:
@@ -121,6 +122,8 @@ class ADWIN(BaseDriftDetector):
             self._tick = tick
             drift = False
         self.in_drift = drift
+        if drift and TELEMETRY.enabled:
+            self._record_drift()
         return drift
 
     def update_many(self, values) -> int | None:

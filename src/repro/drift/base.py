@@ -7,6 +7,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.persistence.mixin import PersistableStateMixin
+from repro.telemetry import DRIFT_DETECTED, TELEMETRY
 
 
 class BaseDriftDetector(PersistableStateMixin, ABC):
@@ -43,6 +44,27 @@ class BaseDriftDetector(PersistableStateMixin, ABC):
             if self.update(value):
                 return index
         return None
+
+    def _record_drift(self, n_observations: int | None = None) -> None:
+        """Emit the telemetry record for a detection that just fired.
+
+        Only drift-fire sites call this (behind a ``TELEMETRY.enabled``
+        guard), so the per-observation hot path pays nothing.  Pass
+        ``n_observations`` explicitly when the fire site has already reset
+        the counter (or kept it in a local).
+        """
+        TELEMETRY.emit(
+            DRIFT_DETECTED,
+            detector=type(self).__name__,
+            n_observations=int(
+                self.n_observations
+                if n_observations is None
+                else n_observations
+            ),
+        )
+        TELEMETRY.counter(
+            "repro.drift.detections_total", detector=type(self).__name__
+        ).inc()
 
     def reset(self) -> "BaseDriftDetector":
         """Restore the initial state."""

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.drift.base import BaseDriftDetector
+from repro.telemetry import TELEMETRY
 
 
 class DDM(BaseDriftDetector):
@@ -74,6 +75,8 @@ class DDM(BaseDriftDetector):
         baseline = self._min_error_rate
         if level > baseline + self.drift_level * self._min_std:
             self.in_drift = True
+            if TELEMETRY.enabled:
+                self._record_drift()
             self._reset_statistics()
         elif level > baseline + self.warning_level * self._min_std:
             self.in_warning = True
@@ -126,6 +129,8 @@ class DDM(BaseDriftDetector):
             if level > min_error_rate + drift_level * min_std:
                 self.in_drift = True
                 self.in_warning = False
+                if TELEMETRY.enabled:
+                    self._record_drift(n)
                 self._reset_statistics()
                 return index
             if level > min_error_rate + warning_level * min_std:

@@ -13,6 +13,7 @@ import math
 import numpy as np
 
 from repro.drift.base import BaseDriftDetector
+from repro.telemetry import TELEMETRY
 
 
 class EDDM(BaseDriftDetector):
@@ -83,6 +84,8 @@ class EDDM(BaseDriftDetector):
 
         if ratio < self.drift_level:
             self.in_drift = True
+            if TELEMETRY.enabled:
+                self._record_drift()
             self._reset_statistics()
         elif ratio < self.warning_level:
             self.in_warning = True
@@ -135,6 +138,8 @@ class EDDM(BaseDriftDetector):
             if ratio < drift_level:
                 self.in_drift = True
                 self.in_warning = False
+                if TELEMETRY.enabled:
+                    self._record_drift(base + position + 1)
                 self._reset_statistics()
                 self.n_observations = 0
                 return position

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.drift.base import BaseDriftDetector
+from repro.telemetry import TELEMETRY
 from repro.utils.validation import check_random_state
 
 
@@ -87,6 +88,8 @@ class KSWIN(BaseDriftDetector):
         )
         if statistic > critical:
             self.in_drift = True
+            if TELEMETRY.enabled:
+                self._record_drift()
             # Keep only the newest values: the old concept is discarded.
             self._window = self._window[-self.stat_size:]
         return self.in_drift

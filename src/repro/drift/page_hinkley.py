@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.drift.base import BaseDriftDetector
+from repro.telemetry import TELEMETRY
 
 
 class PageHinkley(BaseDriftDetector):
@@ -68,6 +69,8 @@ class PageHinkley(BaseDriftDetector):
             and self._cumulative - self._minimum > self.threshold
         )
         if self.in_drift:
+            if TELEMETRY.enabled:
+                self._record_drift()
             self._reset_statistics()
         return self.in_drift
 
@@ -95,6 +98,8 @@ class PageHinkley(BaseDriftDetector):
                 minimum = cumulative
             if n >= min_observations and cumulative - minimum > threshold:
                 self.in_drift = True
+                if TELEMETRY.enabled:
+                    self._record_drift(n)
                 self._reset_statistics()
                 return index
         self.n_observations = n

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.base import ComplexityReport, StreamClassifier
 from repro.drift.adwin import ADWIN
+from repro.telemetry import ENSEMBLE_MEMBER_DRIFT, TELEMETRY
 from repro.ensembles.bagging import (
     accumulate_member_votes,
     detector_saw_mean_increase,
@@ -193,6 +194,17 @@ class AdaptiveRandomForestClassifier(StreamClassifier):
                     member.warning_detector = ADWIN(delta=self.warning_delta)
                     member.drift_detector = ADWIN(delta=self.drift_delta)
                     self.n_drifts += 1
+                    if TELEMETRY.enabled:
+                        TELEMETRY.emit(
+                            ENSEMBLE_MEMBER_DRIFT,
+                            model=type(self).__name__,
+                            member=int(member_idx),
+                            detector="ADWIN",
+                        )
+                        TELEMETRY.counter(
+                            "repro.ensemble.member_drifts_total",
+                            model=type(self).__name__,
+                        ).inc()
 
             # Online bagging update of the foreground (and background) tree.
             if self.vectorized:

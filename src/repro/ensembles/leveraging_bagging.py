@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.base import StreamClassifier
 from repro.drift.adwin import ADWIN
+from repro.telemetry import ENSEMBLE_MEMBER_DRIFT, TELEMETRY
 from repro.ensembles.bagging import OzaBaggingClassifier, detector_saw_mean_increase
 
 
@@ -96,5 +97,16 @@ class LeveragingBaggingClassifier(OzaBaggingClassifier):
             self.estimators_[worst] = self._make_estimator()
             self._detectors[worst] = ADWIN(delta=self.adwin_delta)
             self.n_member_resets += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    ENSEMBLE_MEMBER_DRIFT,
+                    model=type(self).__name__,
+                    member=worst,
+                    detector="ADWIN",
+                )
+                TELEMETRY.counter(
+                    "repro.ensemble.member_drifts_total",
+                    model=type(self).__name__,
+                ).inc()
 
         return super().partial_fit(X, y, classes=classes)

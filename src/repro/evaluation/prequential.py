@@ -20,6 +20,7 @@ from repro.evaluation.complexity import sliding_window_aggregate, summarize_trac
 from repro.evaluation.metrics import ConfusionMatrix
 from repro.persistence.mixin import PersistableStateMixin
 from repro.streams.base import Stream, prequential_batches
+from repro.telemetry import EVALUATION_COMPLETED, TELEMETRY
 from repro.utils.validation import check_in_range
 
 
@@ -170,27 +171,53 @@ class PrequentialEvaluator:
             dataset_name=dataset_name or getattr(stream, "name", type(stream).__name__),
         )
         confusion = ConfusionMatrix(classes)
-        for iteration, (X, y) in enumerate(
-            prequential_batches(stream, self.batch_fraction, self.batch_size)
-        ):
-            started = time.perf_counter()
-            if iteration >= self.warmup_batches:
-                predictions = model.predict(X)
-                batch_confusion = ConfusionMatrix(classes)
-                batch_confusion.update(y, predictions)
-                confusion.update(y, predictions)
-                result.f1_trace.append(batch_confusion.f1(self.f1_average))
-                result.accuracy_trace.append(batch_confusion.accuracy())
-            model.partial_fit(X, y, classes=classes)
-            elapsed = time.perf_counter() - started
+        telemetry_on = TELEMETRY.enabled
+        batch_histogram = (
+            TELEMETRY.histogram(
+                "repro.evaluation.batch_seconds",
+                model=result.model_name,
+                dataset=result.dataset_name,
+            )
+            if telemetry_on
+            else None
+        )
+        with TELEMETRY.span("evaluation.prequential"):
+            for iteration, (X, y) in enumerate(
+                prequential_batches(stream, self.batch_fraction, self.batch_size)
+            ):
+                started = time.perf_counter()
+                if iteration >= self.warmup_batches:
+                    predictions = model.predict(X)
+                    batch_confusion = ConfusionMatrix(classes)
+                    batch_confusion.update(y, predictions)
+                    confusion.update(y, predictions)
+                    result.f1_trace.append(batch_confusion.f1(self.f1_average))
+                    result.accuracy_trace.append(batch_confusion.accuracy())
+                model.partial_fit(X, y, classes=classes)
+                elapsed = time.perf_counter() - started
 
-            report = model.complexity()
-            result.n_splits_trace.append(report.n_splits)
-            result.n_parameters_trace.append(report.n_parameters)
-            result.time_trace.append(elapsed)
-            result.n_iterations += 1
-            result.n_samples += len(y)
-            if max_iterations is not None and result.n_iterations >= max_iterations:
-                break
+                report = model.complexity()
+                result.n_splits_trace.append(report.n_splits)
+                result.n_parameters_trace.append(report.n_parameters)
+                result.time_trace.append(elapsed)
+                result.n_iterations += 1
+                result.n_samples += len(y)
+                if batch_histogram is not None:
+                    # Reuse the already-measured duration: no extra clock
+                    # reads inside the timed region.
+                    batch_histogram.observe(elapsed)
+                if max_iterations is not None and result.n_iterations >= max_iterations:
+                    break
         result.overall_confusion = confusion
+        if telemetry_on:
+            TELEMETRY.emit(
+                EVALUATION_COMPLETED,
+                model=result.model_name,
+                dataset=result.dataset_name,
+                n_iterations=result.n_iterations,
+                n_samples=result.n_samples,
+            )
+            TELEMETRY.counter(
+                "repro.evaluation.runs_total", model=result.model_name
+            ).inc()
         return result

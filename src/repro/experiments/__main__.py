@@ -127,11 +127,29 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(suite.dataset_names)} datasets = {cells} cells, "
             f"jobs={args.jobs}, store={args.store or '(none)'}"
         )
+    cell_timings: dict[tuple[str, str], float] = {}
+
+    def track_progress(event) -> None:
+        if event.elapsed_seconds is not None:
+            key = (event.config.model, event.config.dataset)
+            cell_timings[key] = event.elapsed_seconds
+        if not args.quiet:
+            print_progress(event)
+
     started = time.perf_counter()
-    suite.run(progress=None if args.quiet else print_progress)
+    suite.run(progress=track_progress)
     elapsed = time.perf_counter() - started
     if not args.quiet:
         print(f"[repro] {cells} cells finished in {elapsed:.1f}s")
+        if cell_timings:
+            (model, dataset), slowest = max(
+                cell_timings.items(), key=lambda item: item[1]
+            )
+            print(
+                f"[repro] slowest cell: {model} on {dataset} "
+                f"({slowest:.2f}s of {sum(cell_timings.values()):.2f}s "
+                "total cell time)"
+            )
 
     if args.tables:
         for builder in (table2_f1, table3_splits, table4_parameters, table5_time, table6_summary):

@@ -18,12 +18,14 @@ change (``cached`` / ``submitted`` / ``completed``).
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from repro.evaluation.prequential import PrequentialResult
 from repro.experiments.store import ResultStore, RunConfig
+from repro.telemetry import GRID_CELL_COMPLETED, TELEMETRY
 
 #: Progress event states, in lifecycle order.
 CACHED = "cached"
@@ -39,6 +41,9 @@ class GridProgress:
     status: str  # CACHED, SUBMITTED or COMPLETED
     completed: int  # cells finished so far (cached cells included)
     total: int  # cells in the grid
+    #: Wall-clock duration of the cell's prequential run, measured inside
+    #: the worker that executed it.  ``None`` for cached/submitted events.
+    elapsed_seconds: float | None = None
 
 
 ProgressCallback = Callable[[GridProgress], None]
@@ -56,6 +61,13 @@ def _execute_cell(config: RunConfig) -> PrequentialResult:
         batch_fraction=config.batch_fraction,
         max_iterations=config.max_iterations,
     )
+
+
+def _execute_cell_timed(config: RunConfig) -> tuple[PrequentialResult, float]:
+    """Run one cell and measure its wall-clock duration in the worker."""
+    started = time.perf_counter()
+    result = _execute_cell(config)
+    return result, time.perf_counter() - started
 
 
 def default_jobs() -> int:
@@ -95,9 +107,27 @@ def run_grid(
     total = len(ordered)
     results: dict[RunConfig, PrequentialResult] = {}
 
-    def emit(config: RunConfig, status: str) -> None:
+    def emit(
+        config: RunConfig, status: str, elapsed_seconds: float | None = None
+    ) -> None:
+        if status == COMPLETED and TELEMETRY.enabled:
+            TELEMETRY.emit(
+                GRID_CELL_COMPLETED,
+                model=config.model,
+                dataset=config.dataset,
+                elapsed_seconds=elapsed_seconds,
+            )
+            TELEMETRY.counter("repro.experiments.cells_total").inc()
+            if elapsed_seconds is not None:
+                TELEMETRY.histogram("repro.experiments.cell_seconds").observe(
+                    elapsed_seconds
+                )
         if progress is not None:
-            progress(GridProgress(config, status, len(results), total))
+            progress(
+                GridProgress(
+                    config, status, len(results), total, elapsed_seconds
+                )
+            )
 
     pending: list[RunConfig] = []
     for config in ordered:
@@ -114,11 +144,11 @@ def run_grid(
     if jobs == 1:
         for config in pending:
             emit(config, SUBMITTED)
-            result = _execute_cell(config)
+            result, elapsed = _execute_cell_timed(config)
             if store is not None:
                 store.put(config, result)
             results[config] = result
-            emit(config, COMPLETED)
+            emit(config, COMPLETED, elapsed)
         return {config: results[config] for config in ordered}
 
     workers = min(jobs, len(pending))
@@ -126,7 +156,7 @@ def run_grid(
     with ProcessPoolExecutor(max_workers=workers) as executor:
         futures = {}
         for config in pending:
-            futures[executor.submit(_execute_cell, config)] = config
+            futures[executor.submit(_execute_cell_timed, config)] = config
             emit(config, SUBMITTED)
         not_done = set(futures)
         while not_done:
@@ -134,7 +164,7 @@ def run_grid(
             for future in done:
                 config = futures[future]
                 try:
-                    result = future.result()
+                    result, elapsed = future.result()
                 except BaseException as error:
                     if first_error is None:
                         first_error = error
@@ -148,7 +178,7 @@ def run_grid(
                 if store is not None:
                     store.put(config, result)
                 results[config] = result
-                emit(config, COMPLETED)
+                emit(config, COMPLETED, elapsed)
     if first_error is not None:
         raise first_error
     return {config: results[config] for config in ordered}

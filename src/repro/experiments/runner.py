@@ -169,7 +169,12 @@ class ExperimentSuite:
 def print_progress(event: GridProgress) -> None:
     """Default progress callback: one line per grid-cell state change."""
     config = event.config
+    timing = (
+        f" [{event.elapsed_seconds:.2f}s]"
+        if event.elapsed_seconds is not None
+        else ""
+    )
     print(
         f"[repro] {event.status:>9} {config.model} on {config.dataset} "
-        f"({event.completed}/{event.total})"
+        f"({event.completed}/{event.total}){timing}"
     )

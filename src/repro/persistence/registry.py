@@ -113,6 +113,8 @@ def ensure_default_registrations() -> None:
         SplitSuggestion,
     )
     from repro.trees.vfdt import HoeffdingTreeClassifier
+    from repro.serving.service import ScoringStats, ScoringStatsArchive
+    from repro.telemetry.metrics import Counter, Gauge, Histogram
     from repro.streams.base import ArrayStream
     from repro.streams.preprocessing import NormalizedStream, OnlineMinMaxScaler
     from repro.streams.realworld import SurrogateStream
@@ -174,6 +176,12 @@ def ensure_default_registrations() -> None:
         # Evaluation artefacts (experiment result store).
         ConfusionMatrix,
         PrequentialResult,
+        # Serving metrics (histogram-backed stats survive hot restarts).
+        ScoringStats,
+        ScoringStatsArchive,
+        Counter,
+        Gauge,
+        Histogram,
         # Drift detectors.
         ADWIN,
         _BucketRow,

@@ -13,7 +13,7 @@ See ``examples/serving_hot_swap.py`` for the end-to-end workflow.
 
 from repro.serving.deployment import ChampionChallenger
 from repro.serving.registry import ModelRegistry, ModelVersion
-from repro.serving.service import ScoringService, ScoringStats
+from repro.serving.service import ScoringService, ScoringStats, ScoringStatsArchive
 
 __all__ = [
     "ChampionChallenger",
@@ -21,4 +21,5 @@ __all__ = [
     "ModelVersion",
     "ScoringService",
     "ScoringStats",
+    "ScoringStatsArchive",
 ]

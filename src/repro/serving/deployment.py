@@ -18,6 +18,7 @@ import numpy as np
 from repro.base import StreamClassifier
 from repro.drift.base import BaseDriftDetector
 from repro.serving.registry import ModelRegistry, ModelVersion
+from repro.telemetry import SERVING_DRIFT, SERVING_PROMOTION, TELEMETRY
 
 
 class ChampionChallenger:
@@ -139,6 +140,16 @@ class ChampionChallenger:
                 self._shadow_weight += float(len(y))
         if drift:
             self.n_drifts += 1
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    SERVING_DRIFT,
+                    name=self.name,
+                    detector=type(self.drift_detector).__name__,
+                    n_drifts=self.n_drifts,
+                )
+                TELEMETRY.counter(
+                    "repro.serving.champion_drifts_total", name=self.name
+                ).inc()
 
         # Test-then-train: both models keep learning from the labelled stream.
         champion.partial_fit(X, y)
@@ -182,4 +193,19 @@ class ChampionChallenger:
         self._challenger_errors = 0.0
         self._shadow_weight = 0.0
         self.n_promotions += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                SERVING_PROMOTION,
+                name=self.name,
+                version=entry.version,
+                champion_shadow_accuracy=entry.metadata[
+                    "champion_shadow_accuracy"
+                ],
+                challenger_shadow_accuracy=entry.metadata[
+                    "challenger_shadow_accuracy"
+                ],
+            )
+            TELEMETRY.counter(
+                "repro.serving.promotions_total", name=self.name
+            ).inc()
         return entry

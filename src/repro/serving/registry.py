@@ -14,6 +14,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.telemetry import SERVING_HOT_SWAP, TELEMETRY
+
 
 @dataclass(frozen=True)
 class ModelVersion:
@@ -65,8 +67,24 @@ class ModelRegistry:
                 metadata=dict(metadata or {}),
             )
             history.append(entry)
-            if activate or name not in self._active:
+            activated = activate or name not in self._active
+            if activated:
                 self._active[name] = entry.version
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    SERVING_HOT_SWAP,
+                    name=name,
+                    version=entry.version,
+                    action="register",
+                    activated=activated,
+                )
+                TELEMETRY.counter(
+                    "repro.serving.registrations_total", name=name
+                ).inc()
+                if activated:
+                    TELEMETRY.gauge(
+                        "repro.serving.active_version", name=name
+                    ).set(entry.version)
             return entry
 
     def activate(self, name: str, version: int) -> ModelVersion:
@@ -74,6 +92,16 @@ class ModelRegistry:
         with self._lock:
             entry = self.get_version(name, version)
             self._active[name] = entry.version
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    SERVING_HOT_SWAP,
+                    name=name,
+                    version=entry.version,
+                    action="activate",
+                )
+                TELEMETRY.gauge(
+                    "repro.serving.active_version", name=name
+                ).set(entry.version)
             return entry
 
     def rollback(self, name: str) -> ModelVersion:

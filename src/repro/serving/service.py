@@ -1,57 +1,76 @@
-"""Batched scoring service with per-model latency/throughput accounting.
+"""Batched scoring service with histogram-backed latency/throughput stats.
 
 :class:`ScoringService` is the request-facing layer: it resolves a model name
 through a :class:`~repro.serving.registry.ModelRegistry` at call time (so hot
 swaps take effect immediately), scores requests in bounded batches, and keeps
-lightweight per-model counters -- request count, rows scored, latency mean /
-max and rows per second -- that a monitoring endpoint can expose.
+per-model :class:`ScoringStats` -- request/row counts plus a fixed-bucket
+latency histogram with exact p50/p95/p99 -- that a monitoring endpoint can
+expose.  The stats are persistable (:meth:`ScoringService.save_stats` /
+:meth:`load_stats`), so serving metrics survive a hot restart alongside the
+model registry, and every request also feeds the process-wide telemetry
+registry (:mod:`repro.telemetry`) when it is enabled.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 import time
 
 import numpy as np
 
 from repro.serving.registry import ModelRegistry
+from repro.telemetry import TELEMETRY
+from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
 
 
 class ScoringStats:
-    """Running latency/throughput counters for one model name."""
+    """Running latency/throughput statistics for one model name.
 
-    __slots__ = (
-        "n_requests",
-        "n_rows",
-        "total_seconds",
-        "max_latency",
-        "min_latency",
-    )
+    Backed by a :class:`~repro.telemetry.metrics.Histogram`, so the snapshot
+    carries exact latency percentiles in addition to the original counters.
+    The :meth:`snapshot` keys of the pre-histogram implementation
+    (``n_requests``/``n_rows``/``total_seconds``/``mean``/``max``/``min``
+    latency and ``rows_per_second``) are preserved for backward
+    compatibility.
+    """
+
+    __slots__ = ("n_rows", "latency")
 
     def __init__(self) -> None:
-        self.n_requests = 0
         self.n_rows = 0
-        self.total_seconds = 0.0
-        self.max_latency = 0.0
-        self.min_latency = math.inf
+        self.latency = Histogram(DEFAULT_LATENCY_BUCKETS)
 
     def observe(self, n_rows: int, seconds: float) -> None:
-        self.n_requests += 1
         self.n_rows += int(n_rows)
-        self.total_seconds += float(seconds)
-        self.max_latency = max(self.max_latency, seconds)
-        self.min_latency = min(self.min_latency, seconds)
+        self.latency.observe(float(seconds))
+
+    # ---------------------------------------------------- legacy counter API
+    @property
+    def n_requests(self) -> int:
+        return self.latency.count
+
+    @property
+    def total_seconds(self) -> float:
+        return self.latency.sum
 
     @property
     def mean_latency(self) -> float:
-        return self.total_seconds / self.n_requests if self.n_requests else 0.0
+        return self.latency.mean
+
+    @property
+    def max_latency(self) -> float:
+        return self.latency.max
+
+    @property
+    def min_latency(self) -> float:
+        return self.latency.min
 
     @property
     def rows_per_second(self) -> float:
-        return self.n_rows / self.total_seconds if self.total_seconds > 0 else 0.0
+        return self.n_rows / self.latency.sum if self.latency.sum > 0 else 0.0
 
     def snapshot(self) -> dict:
+        p50, p95, p99 = self.latency.percentiles((0.5, 0.95, 0.99))
         return {
             "n_requests": self.n_requests,
             "n_rows": self.n_rows,
@@ -62,7 +81,22 @@ class ScoringStats:
                 self.min_latency if self.n_requests else 0.0
             ),
             "rows_per_second": self.rows_per_second,
+            "p50_latency_seconds": p50,
+            "p95_latency_seconds": p95,
+            "p99_latency_seconds": p99,
         }
+
+
+class ScoringStatsArchive:
+    """Persistable container of a service's per-model statistics.
+
+    Registered with the persistence codec so
+    :meth:`ScoringService.save_stats` round-trips the histogram-backed
+    counters through a versioned model file.
+    """
+
+    def __init__(self, stats: dict[str, ScoringStats] | None = None) -> None:
+        self.stats: dict[str, ScoringStats] = dict(stats or {})
 
 
 class ScoringService:
@@ -91,6 +125,12 @@ class ScoringService:
         self.max_batch_size = max_batch_size
         self._lock = threading.Lock()
         self._stats: dict[str, ScoringStats] = {}
+        # Telemetry metric handles per model name, cached against the metric
+        # registry's generation so a registry clear() invalidates them.  The
+        # cache keeps the per-request telemetry cost to three attribute
+        # bumps instead of three labelled registry lookups.
+        self._telemetry_handles: dict[str, tuple] = {}
+        self._telemetry_generation = -1
 
     # -------------------------------------------------------------- scoring
     def predict(self, name: str, X: np.ndarray) -> np.ndarray:
@@ -104,20 +144,62 @@ class ScoringService:
     def _score(self, name: str, X: np.ndarray, method: str) -> np.ndarray:
         model = self.registry.get(name)
         X = np.asarray(X)
-        started = time.perf_counter()
         score = getattr(model, method)
-        if self.max_batch_size is None or len(X) <= self.max_batch_size:
-            result = score(X)
-        else:
-            chunks = [
-                score(X[start : start + self.max_batch_size])
-                for start in range(0, len(X), self.max_batch_size)
-            ]
-            result = np.concatenate(chunks, axis=0)
+        # The request is timed for the per-model stats anyway, so the
+        # ``serving.score`` trace span reuses that measurement instead of
+        # allocating a Span with its own clock reads: push the span path by
+        # hand (nested model spans still pick up the prefix) and feed the
+        # span histogram the already-measured elapsed time.
+        telemetry_on = TELEMETRY.enabled
+        if telemetry_on:
+            span_stack = TELEMETRY.tracer._stack()
+            span_path = (
+                span_stack[-1] + "/serving.score"
+                if span_stack
+                else "serving.score"
+            )
+            span_stack.append(span_path)
+        started = time.perf_counter()
+        try:
+            if self.max_batch_size is None or len(X) <= self.max_batch_size:
+                result = score(X)
+            else:
+                chunks = [
+                    score(X[start : start + self.max_batch_size])
+                    for start in range(0, len(X), self.max_batch_size)
+                ]
+                result = np.concatenate(chunks, axis=0)
+        finally:
+            if telemetry_on:
+                span_stack.pop()
         elapsed = time.perf_counter() - started
         with self._lock:
-            self._stats.setdefault(name, ScoringStats()).observe(len(X), elapsed)
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats.setdefault(name, ScoringStats())
+            stats.observe(len(X), elapsed)
+        if telemetry_on:
+            requests, rows, latency = self._telemetry_for(name)
+            requests.inc()
+            rows.inc(len(X))
+            latency.observe(elapsed)
+            TELEMETRY.tracer._histogram(span_path).observe(elapsed)
         return result
+
+    def _telemetry_for(self, name: str) -> tuple:
+        """Cached (requests, rows, latency) metric handles for one name."""
+        if self._telemetry_generation != TELEMETRY.registry.generation:
+            self._telemetry_handles.clear()
+            self._telemetry_generation = TELEMETRY.registry.generation
+        handles = self._telemetry_handles.get(name)
+        if handles is None:
+            handles = (
+                TELEMETRY.counter("repro.serving.requests_total", model=name),
+                TELEMETRY.counter("repro.serving.rows_total", model=name),
+                TELEMETRY.histogram("repro.serving.latency_seconds", model=name),
+            )
+            self._telemetry_handles[name] = handles
+        return handles
 
     # ------------------------------------------------------------ monitoring
     def stats(self, name: str) -> dict:
@@ -138,3 +220,37 @@ class ScoringService:
                 self._stats.clear()
             else:
                 self._stats.pop(name, None)
+
+    # ---------------------------------------------------------- persistence
+    def save_stats(self, path) -> str:
+        """Persist the per-model statistics (histograms included) to a file.
+
+        The file uses the same versioned format as model files, so serving
+        metrics can be hot-restarted alongside the models they describe.
+        """
+        from repro.persistence import save_model
+
+        with self._lock:
+            archive = ScoringStatsArchive(self._stats)
+            return save_model(archive, path)
+
+    def load_stats(self, path, merge: bool = False) -> "ScoringService":
+        """Restore statistics written by :meth:`save_stats`.
+
+        With ``merge=False`` (default) the loaded stats replace the current
+        ones; ``merge=True`` keeps stats of names absent from the file.
+        """
+        from repro.persistence import load_model
+
+        archive = load_model(path)
+        if not isinstance(archive, ScoringStatsArchive):
+            raise TypeError(
+                f"{path!r} does not contain scoring statistics "
+                f"(found {type(archive).__name__})."
+            )
+        with self._lock:
+            if merge:
+                self._stats.update(archive.stats)
+            else:
+                self._stats = dict(archive.stats)
+        return self

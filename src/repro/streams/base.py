@@ -27,6 +27,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.persistence.mixin import PersistableStateMixin
+from repro.telemetry import TELEMETRY
 
 
 class Stream(PersistableStateMixin, ABC):
@@ -270,15 +271,16 @@ class SeededStream(Stream):
         cached = self._block_cache
         if cached is not None and cached[0] == block:
             return cached[1], cached[2]
-        state = self._state_for_block(block)
-        X, y, next_state = self._generate_block(
-            self._lazy_block_rng(block),
-            block * self.block_size,
-            self._block_row_count(block),
-            state,
-        )
-        if self.stateful:
-            self._boundary_states[block + 1] = next_state
+        with TELEMETRY.span("stream.generate_block"):
+            state = self._state_for_block(block)
+            X, y, next_state = self._generate_block(
+                self._lazy_block_rng(block),
+                block * self.block_size,
+                self._block_row_count(block),
+                state,
+            )
+            if self.stateful:
+                self._boundary_states[block + 1] = next_state
         self._block_cache = (block, X, y)
         return X, y
 

@@ -44,6 +44,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.streams.base import SeededStream, Stream
+from repro.telemetry import TELEMETRY
 from repro.streams.synthetic.drift import drift_sigmoid, wrapped_rows
 from repro.utils.validation import check_in_range
 
@@ -515,4 +516,5 @@ class ScenarioPipeline(Stream):
         return f"{self.name}: " + " -> ".join(names)
 
     def _generate(self, start: int, count: int) -> tuple[np.ndarray, np.ndarray]:
-        return self.stream._generate(start, count)
+        with TELEMETRY.span("scenario.generate"):
+            return self.stream._generate(start, count)

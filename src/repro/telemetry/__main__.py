@@ -1,0 +1,49 @@
+"""Command-line entry point: render telemetry run artefacts as tables.
+
+::
+
+    python -m repro.telemetry report telemetry-run/
+    python -m repro.telemetry report events.jsonl
+    python -m repro.telemetry report metrics.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.telemetry.report import render_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect exported telemetry runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    report = sub.add_parser(
+        "report",
+        help="render a per-run summary table (events by kind, latency "
+        "percentiles, counters)",
+    )
+    report.add_argument(
+        "path",
+        help="a run directory written by telemetry.export_run(), an "
+        "events.jsonl file, or a metrics.json file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        try:
+            print(render_report(args.path))
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

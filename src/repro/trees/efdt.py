@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.base import ComplexityReport
+from repro.telemetry import TREE_SPLIT, TELEMETRY
 from repro.trees.base import LeafNode, SplitNode, iter_nodes, tree_depth
 from repro.trees.hoeffding import hoeffding_bound
 from repro.trees.observers import SplitSuggestion
@@ -197,6 +198,17 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
             )
         self._replace_child(parent, branch, new_split)
         self.n_split_events += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                TREE_SPLIT,
+                model=type(self).__name__,
+                feature=int(suggestion.feature),
+                threshold=float(suggestion.threshold),
+                depth=int(leaf.depth),
+            )
+            TELEMETRY.counter(
+                "repro.tree.splits_total", model=type(self).__name__
+            ).inc()
         return new_split
 
     # ----------------------------------------------------------- reevaluate
@@ -237,12 +249,16 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
             demoted.observers = node.stats.observers
             self._replace_child(parent, branch, demoted)
             self.n_subtree_prunes += 1
+            if TELEMETRY.enabled:
+                self._telemetry_prune("subtree", node.depth)
             return True
         if best.feature != node.feature and best.merit - current_merit > bound:
             # A different attribute is now clearly better: kill the subtree
             # and re-split on the new best attribute.
             self._split_stats_node(node, best, parent, branch)
             self.n_subtree_prunes += 1
+            if TELEMETRY.enabled:
+                self._telemetry_prune("resplit", node.depth)
             return True
         return False
 
@@ -274,6 +290,17 @@ class ExtremelyFastDecisionTreeClassifier(HoeffdingTreeClassifier):
             )
         self._replace_child(parent, branch, new_split)
         self.n_split_events += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                TREE_SPLIT,
+                model=type(self).__name__,
+                feature=int(suggestion.feature),
+                threshold=float(suggestion.threshold),
+                depth=int(node.depth),
+            )
+            TELEMETRY.counter(
+                "repro.tree.splits_total", model=type(self).__name__
+            ).inc()
 
     # ------------------------------------------------------- interpretability
     def complexity(self) -> ComplexityReport:

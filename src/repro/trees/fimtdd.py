@@ -27,6 +27,7 @@ import numpy as np
 from repro.base import ComplexityReport, StreamClassifier
 from repro.drift.page_hinkley import PageHinkley
 from repro.linear.glm import IncrementalGLM
+from repro.telemetry import TREE_PRUNE, TREE_SPLIT, TELEMETRY
 from repro.trees.base import tree_depth
 from repro.trees.criteria import VarianceReductionCriterion
 from repro.trees.hoeffding import hoeffding_bound
@@ -277,6 +278,16 @@ class FIMTDDClassifier(StreamClassifier):
         else:
             parent.children[branch] = replacement
         self.n_pruned_branches += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                TREE_PRUNE,
+                model=type(self).__name__,
+                reason="branch",
+                depth=int(node.depth),
+            )
+            TELEMETRY.counter(
+                "repro.tree.prunes_total", model=type(self).__name__
+            ).inc()
 
     def _find_parent(
         self, target: FIMTSplitNode
@@ -336,6 +347,17 @@ class FIMTDDClassifier(StreamClassifier):
         else:
             parent.children[branch] = new_split
         self.n_split_events += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                TREE_SPLIT,
+                model=type(self).__name__,
+                feature=int(suggestion.feature),
+                threshold=float(suggestion.threshold),
+                depth=int(leaf.depth),
+            )
+            TELEMETRY.counter(
+                "repro.tree.splits_total", model=type(self).__name__
+            ).inc()
 
     # ------------------------------------------------------------ inference
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.base import ComplexityReport
 from repro.drift.adwin import ADWIN
+from repro.telemetry import TELEMETRY
 from repro.trees.base import LeafNode, SplitNode, tree_depth
 from repro.trees.observers import SplitSuggestion
 from repro.trees.vfdt import HoeffdingTreeClassifier
@@ -211,6 +212,8 @@ class HoeffdingAdaptiveTreeClassifier(HoeffdingTreeClassifier):
                 node.alt_errors = 0.0
                 node.alt_weight = 0.0
                 self.n_alternate_trees += 1
+                if TELEMETRY.enabled:
+                    self._telemetry_alternate_started(node.depth)
         else:
             # Train the alternate subtree in parallel and track both errors.
             alt_error = float(self._subtree_predict(node.alternate_tree, x) != y_idx)
@@ -226,11 +229,15 @@ class HoeffdingAdaptiveTreeClassifier(HoeffdingTreeClassifier):
                 if alt_rate < main_rate:
                     self._replace_child(parent, branch, node.alternate_tree)
                     self.n_tree_swaps += 1
+                    if TELEMETRY.enabled:
+                        self._telemetry_swap(node.depth)
                     # Continue learning inside the promoted subtree.
                     node = None
                 elif alt_rate > main_rate + 0.05:
                     node.alternate_tree = None
                     self.n_pruned_alternates += 1
+                    if TELEMETRY.enabled:
+                        self._telemetry_prune("alternate", node.depth)
                 if node is None:
                     return
 
@@ -356,6 +363,8 @@ class HoeffdingAdaptiveTreeClassifier(HoeffdingTreeClassifier):
                             node.alt_errors = 0.0
                             node.alt_weight = 0.0
                             self.n_alternate_trees += 1
+                            if TELEMETRY.enabled:
+                                self._telemetry_alternate_started(node.depth)
                         continue
                     if x is None:
                         x = X[i]
@@ -376,11 +385,15 @@ class HoeffdingAdaptiveTreeClassifier(HoeffdingTreeClassifier):
                                 node_parent, node_branch, node.alternate_tree
                             )
                             self.n_tree_swaps += 1
+                            if TELEMETRY.enabled:
+                                self._telemetry_swap(node.depth)
                             swapped = True
                             break
                         if alt_rate > main_rate + 0.05:
                             node.alternate_tree = None
                             self.n_pruned_alternates += 1
+                            if TELEMETRY.enabled:
+                                self._telemetry_prune("alternate", node.depth)
                 if swapped:
                     restart_at = i + 1
                     break

@@ -27,6 +27,13 @@ from repro.trees.base import (
     tree_depth,
 )
 from repro.trees.criteria import GiniCriterion, InfoGainCriterion, SplitCriterion
+from repro.telemetry import (
+    TREE_ALTERNATE_STARTED,
+    TREE_PRUNE,
+    TREE_SPLIT,
+    TREE_SWAP,
+    TELEMETRY,
+)
 from repro.trees.hoeffding import hoeffding_bound
 from repro.trees.observers import SplitSuggestion
 from repro.utils.numerics import np_pairwise_sum
@@ -524,6 +531,17 @@ class HoeffdingTreeClassifier(StreamClassifier):
             )
         self._replace_child(parent, branch, new_split)
         self.n_split_events += 1
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                TREE_SPLIT,
+                model=type(self).__name__,
+                feature=int(suggestion.feature),
+                threshold=float(suggestion.threshold),
+                depth=int(leaf.depth),
+            )
+            TELEMETRY.counter(
+                "repro.tree.splits_total", model=type(self).__name__
+            ).inc()
         return new_split
 
     def _replace_child(
@@ -533,6 +551,34 @@ class HoeffdingTreeClassifier(StreamClassifier):
             self.root = new_node
         else:
             parent.children[branch] = new_node
+
+    # ------------------------------------------------------------ telemetry
+    # Call sites must guard on ``TELEMETRY.enabled`` so the disabled path
+    # stays a single attribute read.
+    def _telemetry_alternate_started(self, depth: int) -> None:
+        TELEMETRY.emit(
+            TREE_ALTERNATE_STARTED, model=type(self).__name__, depth=int(depth)
+        )
+        TELEMETRY.counter(
+            "repro.tree.alternates_started_total", model=type(self).__name__
+        ).inc()
+
+    def _telemetry_swap(self, depth: int) -> None:
+        TELEMETRY.emit(TREE_SWAP, model=type(self).__name__, depth=int(depth))
+        TELEMETRY.counter(
+            "repro.tree.swaps_total", model=type(self).__name__
+        ).inc()
+
+    def _telemetry_prune(self, reason: str, depth: int) -> None:
+        TELEMETRY.emit(
+            TREE_PRUNE,
+            model=type(self).__name__,
+            reason=reason,
+            depth=int(depth),
+        )
+        TELEMETRY.counter(
+            "repro.tree.prunes_total", model=type(self).__name__
+        ).inc()
 
     # ------------------------------------------------------------ inference
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
