@@ -6,7 +6,6 @@ shallower than the unconstrained VFDT variants, and the DMT has one of the
 lowest average split counts.
 """
 
-from repro.experiments.registry import MODEL_REGISTRY
 from repro.experiments.tables import table3_splits
 
 

@@ -1,0 +1,59 @@
+"""repro-lint: an invariant-enforcing static analysis suite for this repo.
+
+The package's correctness story rests on conventions that runtime tests can
+only probe slowly and indirectly: RNG discipline (counter-based Philox
+blocks only -- the chunk-invariance contract of the stream core), wall-clock
+discipline (no clock reads in deterministic layers), telemetry-guard
+discipline (every ``TELEMETRY`` call site pays one attribute read when
+disabled), persistence completeness (every persistable class is registered
+in the codec registry), vectorized parity (every ``vectorized`` flag keeps
+its reference path), and metric naming (``repro.<layer>.<metric>``).
+
+:mod:`repro.analysis` enforces them *statically*: an AST visitor driver
+walks ``src/repro``, runs a set of :class:`~repro.analysis.core.Checker`
+plugins, and reports findings with per-rule IDs, severities and
+``path:line:col`` locations.  Accepted findings live in a checked-in
+baseline file; new ones fail the build.  Run it with::
+
+    python -m repro.analysis [--baseline FILE] [--format text|json]
+
+Suppress a single finding inline with ``# repro-lint: disable=RULE`` on the
+offending line (or on a comment line directly above it).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    iter_nodes_with_scope,
+    suppressed_rules_by_line,
+)
+from repro.analysis.driver import all_rules, default_checkers, discover, run
+
+__all__ = [
+    "BaselineEntry",
+    "Checker",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "apply_baseline",
+    "default_checkers",
+    "discover",
+    "iter_nodes_with_scope",
+    "load_baseline",
+    "run",
+    "suppressed_rules_by_line",
+    "write_baseline",
+]

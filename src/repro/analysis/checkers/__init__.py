@@ -1,0 +1,19 @@
+"""The project-specific checker plugins of repro-lint."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.metric_names import MetricNamingChecker
+from repro.analysis.checkers.persistence import PersistenceChecker
+from repro.analysis.checkers.rng import RngDisciplineChecker
+from repro.analysis.checkers.telemetry_guard import TelemetryGuardChecker
+from repro.analysis.checkers.vectorized import VectorizedParityChecker
+from repro.analysis.checkers.wallclock import WallClockChecker
+
+__all__ = [
+    "MetricNamingChecker",
+    "PersistenceChecker",
+    "RngDisciplineChecker",
+    "TelemetryGuardChecker",
+    "VectorizedParityChecker",
+    "WallClockChecker",
+]

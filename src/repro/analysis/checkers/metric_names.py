@@ -1,0 +1,160 @@
+"""Metric naming: ``repro.<layer>.<metric>`` names from a pinned inventory.
+
+PR 6's metrics registry namespaces every counter/gauge/histogram as
+``repro.<layer>.<metric>`` (README "Observability" table) and routes events
+through the typed ``SCHEMAS`` catalogue in
+:mod:`repro.telemetry.events`.  Dashboards and the report CLI key on those
+literal names, so a typo at one call site silently forks a time series.
+The checked-in inventory (:mod:`repro.analysis.inventory`, regenerated
+with ``python -m repro.analysis --regen-inventory``) pins the catalogue;
+introducing a name is a conscious act, not a side effect:
+
+``MET001``
+    Metric name does not match ``repro.<layer>.<metric>``.
+``MET002``
+    Metric name absent from the generated inventory.
+``MET003``
+    Span name absent from the generated inventory.
+``MET004``
+    Event kind absent from the event-schema catalogue.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project, Rule
+from repro.analysis.inventory import EVENT_KINDS, METRIC_NAMES, SPAN_NAMES
+
+#: ``repro.<layer>.<metric>``; underscores within segments, dots between.
+METRIC_NAME_PATTERN = re.compile(r"^repro\.[a-z][a-z0-9_]*\.[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: A string constant that *looks like* a metric name is held to the rule
+#: even outside a call site (the handle-caching idiom binds names to
+#: module constants first).
+_METRIC_LIKE = re.compile(r"^repro\.[A-Za-z0-9_]+\.")
+
+_METRIC_CALLS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _module_constants(tree: ast.Module) -> dict[str, str]:
+    constants: dict[str, str] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                constants[target.id] = stmt.value.value
+    return constants
+
+
+class MetricNamingChecker(Checker):
+    name = "metric-naming"
+    rules = (
+        Rule(
+            "MET001",
+            "metric name not of the form repro.<layer>.<metric>",
+            "PR 6 naming convention: the registry namespaces all series "
+            "as repro.<layer>.<metric>",
+        ),
+        Rule(
+            "MET002",
+            "metric name missing from the generated inventory",
+            "PR 6 catalogue: dashboards key on literal names; regenerate "
+            "with python -m repro.analysis --regen-inventory to adopt one",
+        ),
+        Rule(
+            "MET003",
+            "span name missing from the generated inventory",
+            "PR 6 catalogue: span paths feed repro.trace.span_seconds and "
+            "are enumerated in the inventory",
+        ),
+        Rule(
+            "MET004",
+            "event kind missing from the event-schema catalogue",
+            "PR 6 event contract: every kind is declared with its required "
+            "fields in repro.telemetry.events.SCHEMAS",
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.layer == "analysis":
+            return
+        constants = _module_constants(module.tree)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                    and _METRIC_LIKE.match(stmt.value.value)
+                ):
+                    yield from self._check_metric(
+                        module, stmt, target.id, stmt.value.value
+                    )
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            arg = node.args[0] if node.args else None
+            literal = (
+                arg.value
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                else None
+            )
+            if attr in _METRIC_CALLS and literal is not None:
+                yield from self._check_metric(module, node, None, literal)
+            elif attr == "span" and literal is not None:
+                if literal not in SPAN_NAMES:
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="MET003",
+                        message=f"span name {literal!r} is not in the inventory",
+                    )
+            elif attr == "emit" and arg is not None:
+                kind = literal
+                if kind is None and isinstance(arg, ast.Name):
+                    kind = constants.get(arg.id)
+                if kind is not None and kind not in EVENT_KINDS:
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="MET004",
+                        message=(
+                            f"event kind {kind!r} is not declared in "
+                            "repro.telemetry.events.SCHEMAS"
+                        ),
+                    )
+
+    def _check_metric(
+        self, module: ModuleInfo, node: ast.AST, constant: str | None, value: str
+    ) -> Iterator[Finding]:
+        where = f" (constant {constant})" if constant else ""
+        if not METRIC_NAME_PATTERN.match(value):
+            yield Finding(
+                path=module.rel,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule="MET001",
+                message=(
+                    f"metric name {value!r}{where} does not match "
+                    "repro.<layer>.<metric>"
+                ),
+            )
+        elif value not in METRIC_NAMES:
+            yield Finding(
+                path=module.rel,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule="MET002",
+                message=f"metric name {value!r}{where} is not in the inventory",
+            )

@@ -1,0 +1,365 @@
+"""Persistence completeness: every persistable class round-trips.
+
+PR 1 introduced the structural codec: serialized state stores registry
+names, never import paths, so a class missing from
+``repro.persistence.registry.ensure_default_registrations()`` (or an
+explicit ``@register``) fails at save time -- but only on the first save
+that happens to reach it.  PR 3 added ``_repro_transient`` cache exclusion
+with ``_init_transient()`` rebuilds.  This checker verifies the whole
+contract statically:
+
+``PER001``
+    A concrete class inheriting :class:`~repro.persistence.mixin.
+    PersistableStateMixin` (directly or transitively) is not registered in
+    the codec registry.
+``PER002``
+    A ``_repro_transient`` entry names an attribute the class never
+    assigns (and that is not one of its ``__slots__``) -- i.e. a typo that
+    would silently persist the cache it meant to exclude.
+``PER003``
+    A class declares ``_repro_transient`` but neither defines nor inherits
+    ``_init_transient()``, so decoding leaves its caches unbuilt.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project, Rule
+
+_MIXIN_NAME = "PersistableStateMixin"
+_REGISTRY_REL = "repro/persistence/registry.py"
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """A top-level class definition with statically resolved facts."""
+
+    qualname: str  #: ``repro.trees.base.LeafNode``
+    module: ModuleInfo
+    node: ast.ClassDef
+    bases: tuple[str, ...]  #: resolved dotted base names
+    methods: frozenset[str]
+    abstract_methods: frozenset[str]  #: names declared @abstractmethod here
+    slots: frozenset[str]
+    assigned_attrs: frozenset[str]  #: ``self.<name> = ...`` targets
+    transient: tuple[str, ...]  #: literal new entries of ``_repro_transient``
+    has_transient_decl: bool
+
+
+def _literal_strings(node: ast.expr) -> tuple[str, ...]:
+    """All string constants inside an expression (tuple literals, concats)."""
+    return tuple(
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    )
+
+
+def _decorator_name(node: ast.expr) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def build_class_graph(project: Project) -> dict[str, ClassInfo]:
+    """Map every top-level class in the tree to its resolved facts."""
+    graph: dict[str, ClassInfo] = {}
+    for module in project.modules:
+        table = module.import_table()
+        local_classes = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            bases: list[str] = []
+            for base in stmt.bases:
+                dotted = _resolve_base(base, table, module, local_classes)
+                if dotted:
+                    bases.append(dotted)
+            methods: set[str] = set()
+            abstract_methods: set[str] = set()
+            slots: set[str] = set()
+            assigned: set[str] = set()
+            transient: tuple[str, ...] = ()
+            has_transient = False
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(item.name)
+                    if any(
+                        _decorator_name(dec) in ("abstractmethod", "abstractproperty")
+                        for dec in item.decorator_list
+                    ):
+                        abstract_methods.add(item.name)
+                    for sub in ast.walk(item):
+                        if isinstance(sub, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                            targets = (
+                                sub.targets
+                                if isinstance(sub, ast.Assign)
+                                else [sub.target]
+                            )
+                            for target in targets:
+                                if (
+                                    isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                ):
+                                    assigned.add(target.attr)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            if target.id == "__slots__":
+                                slots.update(_literal_strings(item.value))
+                            elif target.id == "_repro_transient":
+                                has_transient = True
+                                transient = _literal_strings(item.value)
+            qualname = f"{module.dotted}.{stmt.name}"
+            graph[qualname] = ClassInfo(
+                qualname=qualname,
+                module=module,
+                node=stmt,
+                bases=tuple(bases),
+                methods=frozenset(methods),
+                abstract_methods=frozenset(abstract_methods),
+                slots=frozenset(slots),
+                assigned_attrs=frozenset(assigned),
+                transient=transient,
+                has_transient_decl=has_transient,
+            )
+    return graph
+
+
+def is_abstract(qualname: str, graph: dict[str, ClassInfo]) -> bool:
+    """Whether a class still has unimplemented abstract methods.
+
+    A name declared ``@abstractmethod`` anywhere along the MRO counts as
+    implemented once any class in the MRO defines it without the
+    decorator -- the static mirror of what ``abc`` enforces at
+    instantiation time.
+    """
+    info = graph.get(qualname)
+    if info is None:
+        return False
+    mro = [info] + [graph[base] for base in _ancestors(qualname, graph) if base in graph]
+    declared = frozenset().union(*(cls.abstract_methods for cls in mro))
+    concrete = frozenset().union(
+        *(cls.methods - cls.abstract_methods for cls in mro)
+    )
+    if declared - concrete:
+        return True
+    return any(
+        base.split(".")[-1] == "ABC"
+        for base in _ancestors(qualname, graph)
+    ) and not declared
+
+
+def _resolve_base(
+    base: ast.expr,
+    table: dict[str, str],
+    module: ModuleInfo,
+    local_classes: set[str],
+) -> str | None:
+    if isinstance(base, ast.Subscript):  # Generic[...] and friends
+        base = base.value
+    if isinstance(base, ast.Name):
+        if base.id in table:
+            return table[base.id]
+        if base.id in local_classes:
+            return f"{module.dotted}.{base.id}"
+        return base.id
+    parts: list[str] = []
+    node = base
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(table.get(node.id, node.id))
+        return ".".join(reversed(parts))
+    return None
+
+
+def _ancestors(qualname: str, graph: dict[str, ClassInfo]) -> Iterator[str]:
+    """All transitive base names (resolved where in-tree, raw otherwise)."""
+    seen: set[str] = set()
+    stack = list(graph[qualname].bases) if qualname in graph else []
+    while stack:
+        base = stack.pop()
+        if base in seen:
+            continue
+        seen.add(base)
+        yield base
+        if base in graph:
+            stack.extend(graph[base].bases)
+
+
+class PersistenceChecker(Checker):
+    name = "persistence-completeness"
+    rules = (
+        Rule(
+            "PER001",
+            "persistable class missing from the codec registry",
+            "PR 1 codec contract: serialized state stores registry names, "
+            "so unregistered classes fail on the first save reaching them",
+        ),
+        Rule(
+            "PER002",
+            "_repro_transient entry with no backing attribute",
+            "PR 3 transient-cache contract: a typo here silently persists "
+            "the cache it meant to exclude",
+        ),
+        Rule(
+            "PER003",
+            "_repro_transient without an _init_transient() rebuild hook",
+            "PR 3 transient-cache contract: decoding relies on "
+            "_init_transient() to rebuild excluded caches",
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = build_class_graph(project)
+        registered = _registered_class_names(project, graph)
+        for qualname in sorted(graph):
+            info = graph[qualname]
+            ancestors = set(_ancestors(qualname, graph))
+            persistable = any(
+                base.split(".")[-1] == _MIXIN_NAME for base in ancestors
+            )
+            if (
+                persistable
+                and not is_abstract(qualname, graph)
+                and qualname not in registered
+            ):
+                yield Finding(
+                    path=info.module.rel,
+                    line=info.node.lineno,
+                    col=info.node.col_offset,
+                    rule="PER001",
+                    message=(
+                        f"persistable class {info.node.name} is not registered "
+                        "in repro.persistence.registry."
+                        "ensure_default_registrations() or via @register"
+                    ),
+                )
+            if not info.has_transient_decl:
+                continue
+            inherited_attrs: set[str] = set()
+            inherited_methods: set[str] = set()
+            for base in ancestors:
+                base_info = graph.get(base)
+                if base_info is not None:
+                    inherited_attrs |= base_info.slots | base_info.assigned_attrs
+                    inherited_methods |= base_info.methods
+            known = info.slots | info.assigned_attrs | inherited_attrs
+            for entry in info.transient:
+                if entry not in known:
+                    yield Finding(
+                        path=info.module.rel,
+                        line=info.node.lineno,
+                        col=info.node.col_offset,
+                        rule="PER002",
+                        message=(
+                            f"_repro_transient entry {entry!r} of "
+                            f"{info.node.name} matches no __slots__ member "
+                            "or assigned attribute"
+                        ),
+                    )
+            if "_init_transient" not in info.methods | inherited_methods:
+                yield Finding(
+                    path=info.module.rel,
+                    line=info.node.lineno,
+                    col=info.node.col_offset,
+                    rule="PER003",
+                    message=(
+                        f"{info.node.name} declares _repro_transient but "
+                        "neither defines nor inherits _init_transient()"
+                    ),
+                )
+
+
+def _reexport_map(project: Project) -> dict[str, str]:
+    """Aliases created by package ``__init__`` re-exports.
+
+    ``from repro.streams.synthetic.sea import SEAGenerator`` inside
+    ``repro/streams/synthetic/__init__.py`` aliases
+    ``repro.streams.synthetic.SEAGenerator`` to its defining module, so
+    registry imports through the package resolve to the real class.
+    """
+    aliases: dict[str, str] = {}
+    for module in project.modules:
+        if not module.rel.endswith("__init__.py"):
+            continue
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    exported = f"{module.dotted}.{alias.asname or alias.name}"
+                    aliases[exported] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _canonical(name: str, aliases: dict[str, str]) -> str:
+    seen: set[str] = set()
+    while name in aliases and name not in seen:
+        seen.add(name)
+        name = aliases[name]
+    return name
+
+
+def _registered_class_names(
+    project: Project, graph: dict[str, ClassInfo]
+) -> frozenset[str]:
+    """Fully-qualified names registered with the persistence registry."""
+    registered: set[str] = set()
+    registry = project.module(_REGISTRY_REL)
+    if registry is not None:
+        for stmt in registry.tree.body:
+            if (
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "ensure_default_registrations"
+            ):
+                imports: dict[str, str] = {}
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.ImportFrom) and node.module:
+                        for alias in node.names:
+                            imports[alias.asname or alias.name] = (
+                                f"{node.module}.{alias.name}"
+                            )
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Name) and node.id in imports:
+                        registered.add(imports[node.id])
+    # @register decorators and module-level register(...) calls anywhere.
+    for module in project.modules:
+        local_classes = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        table = module.import_table()
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                if any(
+                    _decorator_name(dec) == "register"
+                    for dec in stmt.decorator_list
+                ):
+                    registered.add(f"{module.dotted}.{stmt.name}")
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                func = stmt.value.func
+                if _decorator_name(func) == "register":
+                    for arg in stmt.value.args:
+                        if isinstance(arg, ast.Name):
+                            if arg.id in local_classes:
+                                registered.add(f"{module.dotted}.{arg.id}")
+                            elif arg.id in table:
+                                registered.add(table[arg.id])
+    aliases = _reexport_map(project)
+    return frozenset(_canonical(name, aliases) for name in registered)

@@ -1,0 +1,178 @@
+"""RNG discipline: counter-based Philox blocks only in deterministic layers.
+
+PR 3 rebuilt the stream core on counter-based Philox blocks so every
+generator is chunk-invariant and restart-deterministic; the model layers
+inherit that contract by threading explicit ``numpy.random.Generator``
+objects built by :meth:`repro.streams.base.SeededStream.block_rng` or
+:func:`repro.utils.validation.check_random_state`.  A single draw from
+numpy's *global* RNG state -- or a generator seeded from entropy -- silently
+breaks bit-reproducibility, which no fast test can catch in general.  This
+checker bans those constructs at lint time:
+
+``RNG001``
+    Use of numpy's global RNG state (``np.random.seed``, ``np.random.rand``,
+    any module-level draw) in a deterministic layer.
+``RNG002``
+    RNG construction outside the blessed helpers: ``np.random.default_rng``
+    anywhere but inside ``block_rng`` / ``check_random_state``, or a
+    seedless ``np.random.SeedSequence()`` (fresh OS entropy).
+``RNG003``
+    The stdlib ``random`` module (import or use) in a deterministic layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    iter_nodes_with_scope,
+    resolve_dotted,
+    scope_qualname,
+)
+
+#: Layers whose outputs must be a pure function of seeds and inputs.
+DETERMINISTIC_LAYERS = frozenset(
+    {
+        "root",
+        "core",
+        "drift",
+        "ensembles",
+        "evaluation",
+        "linear",
+        "persistence",
+        "streams",
+        "trees",
+        "utils",
+    }
+)
+
+#: ``numpy.random`` attributes that name classes, not global-state draws.
+_NUMPY_RANDOM_CLASSES = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "Philox",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Functions allowed to construct generators: the two blessed factories.
+_ALLOWED_FACTORY_SCOPES = frozenset({"block_rng", "check_random_state"})
+
+
+class RngDisciplineChecker(Checker):
+    name = "rng-discipline"
+    rules = (
+        Rule(
+            "RNG001",
+            "global numpy RNG state used in a deterministic layer",
+            "PR 3 chunk-invariance contract: randomness comes from "
+            "counter-based Philox blocks, never from np.random's global state",
+        ),
+        Rule(
+            "RNG002",
+            "RNG constructed outside block_rng/check_random_state",
+            "PR 3 chunk-invariance contract: generators are derived from "
+            "explicit seeds by the two blessed factories only",
+        ),
+        Rule(
+            "RNG003",
+            "stdlib random module in a deterministic layer",
+            "PR 3 chunk-invariance contract: the stdlib RNG has hidden "
+            "global state and no counter-based mode",
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.layer not in DETERMINISTIC_LAYERS or module.layer == "analysis":
+            return
+        table = module.import_table()
+        for node, scope in iter_nodes_with_scope(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._finding(
+                            module, node, "RNG003", "import of stdlib random module"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (
+                    node.module == "random"
+                    or (node.module or "").startswith("random.")
+                ):
+                    yield self._finding(
+                        module, node, "RNG003", "import from stdlib random module"
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, scope, table)
+
+    def _check_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        scope: tuple[str, ...],
+        table: dict[str, str],
+    ) -> Iterator[Finding]:
+        dotted = resolve_dotted(node.func, table)
+        if dotted is None:
+            return
+        where = scope_qualname(module, scope)
+        if dotted.startswith("random."):
+            yield self._finding(
+                module, node, "RNG003", f"stdlib {dotted}() called in {where}"
+            )
+            return
+        if not dotted.startswith("numpy.random."):
+            return
+        attr = dotted[len("numpy.random.") :]
+        if "." in attr:  # e.g. numpy.random.Generator.normal -- not a chain we police
+            return
+        in_factory = any(name in _ALLOWED_FACTORY_SCOPES for name in scope)
+        if attr == "default_rng":
+            if not in_factory:
+                yield self._finding(
+                    module,
+                    node,
+                    "RNG002",
+                    f"np.random.default_rng() called in {where}; construct "
+                    "generators via block_rng()/check_random_state()",
+                )
+            return
+        if attr == "SeedSequence":
+            if not node.args and not node.keywords and not in_factory:
+                yield self._finding(
+                    module,
+                    node,
+                    "RNG002",
+                    f"seedless np.random.SeedSequence() in {where} draws "
+                    "fresh OS entropy",
+                )
+            return
+        if attr in _NUMPY_RANDOM_CLASSES:
+            return
+        yield self._finding(
+            module,
+            node,
+            "RNG001",
+            f"np.random.{attr}() uses numpy's global RNG state in {where}",
+        )
+
+    def _finding(
+        self, module: ModuleInfo, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )

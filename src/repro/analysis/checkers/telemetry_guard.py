@@ -1,0 +1,103 @@
+"""Telemetry-guard discipline: the disabled path is one attribute read.
+
+PR 6's instrumentation contract (documented at each call site, e.g.
+``src/repro/trees/vfdt.py``) is that every access to the process-wide
+``TELEMETRY`` singleton's state -- metrics, events, tracer -- happens
+lexically under an ``if TELEMETRY.enabled:`` guard (or one of its
+recognised equivalents, see :mod:`repro.analysis.guards`), so a run with
+telemetry disabled pays exactly one attribute read per call site.  The one
+sanctioned indirection is a ``_telemetry_*`` helper method: its body is
+exempt, and in exchange *every* call site of such a helper must itself be
+guarded.  This checker resolves that caller-guards convention
+cross-function:
+
+``TEL001``
+    ``TELEMETRY`` state access (``counter``/``gauge``/``histogram``/
+    ``emit``/``registry``/``events``/``tracer``/``metrics``) outside a
+    guard and outside a ``_telemetry_*`` helper.
+``TEL002``
+    Call of a ``_telemetry_*`` helper outside a guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    iter_nodes_with_scope,
+    scope_qualname,
+)
+from repro.analysis.guards import HELPER_PREFIX, SAFE_ATTRS, TELEMETRY_NAME, GuardIndex
+
+#: Layers exempt from the guard rule: telemetry's own implementation and
+#: this analysis package (which never runs on a model hot path).
+EXEMPT_LAYERS = frozenset({"telemetry", "analysis"})
+
+
+class TelemetryGuardChecker(Checker):
+    name = "telemetry-guard"
+    rules = (
+        Rule(
+            "TEL001",
+            "TELEMETRY state access outside a TELEMETRY.enabled guard",
+            "PR 6 instrumentation contract: the disabled hot path is one "
+            "attribute read, so every state access sits under a guard",
+        ),
+        Rule(
+            "TEL002",
+            "_telemetry_* helper called outside a TELEMETRY.enabled guard",
+            "PR 6 helper convention: helper bodies are exempt from TEL001, "
+            "so each of their call sites must be guarded instead",
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.layer in EXEMPT_LAYERS:
+            return
+        guards = GuardIndex(module.tree)
+        for node, scope in iter_nodes_with_scope(module.tree):
+            where = scope_qualname(module, scope)
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == TELEMETRY_NAME
+                and node.attr not in SAFE_ATTRS
+                and not guards.guarded(node)
+            ):
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="TEL001",
+                    message=(
+                        f"TELEMETRY.{node.attr} accessed in {where} outside "
+                        "a TELEMETRY.enabled guard"
+                    ),
+                )
+            elif isinstance(node, ast.Call) and not guards.guarded(node):
+                helper = None
+                if isinstance(node.func, ast.Attribute) and node.func.attr.startswith(
+                    HELPER_PREFIX
+                ):
+                    helper = node.func.attr
+                elif isinstance(node.func, ast.Name) and node.func.id.startswith(
+                    HELPER_PREFIX
+                ):
+                    helper = node.func.id
+                if helper is not None:
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="TEL002",
+                        message=(
+                            f"telemetry helper {helper}() called in "
+                            f"{where} outside a TELEMETRY.enabled guard"
+                        ),
+                    )

@@ -1,0 +1,85 @@
+"""Vectorized parity: every ``vectorized`` flag keeps its reference path.
+
+PRs 4-5 vectorized the training and inference hot paths but pinned each
+kernel bit-identical to a retained scalar reference implementation,
+selected by a ``vectorized=False`` flag (e.g. ``_predict_proba_per_row``).
+The property-test harness relies on those reference paths existing; a
+refactor that deletes the scalar branch but keeps the flag silently turns
+the parity tests into self-comparisons.
+
+``VEC001``
+    A class sets a ``vectorized`` attribute but never *reads* it again --
+    neither branching on it (the in-class reference path) nor forwarding
+    it to a component that does (``DynamicModelTree`` hands its flag to
+    ``DMTNode``/``CandidateManager``): the reference path is gone (or was
+    never wired), so ``vectorized=False`` has no effect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, ModuleInfo, Project, Rule
+
+
+def _class_sets_vectorized(node: ast.ClassDef) -> bool:
+    for item in ast.walk(node):
+        if isinstance(item, (ast.Assign, ast.AnnAssign)):
+            targets = item.targets if isinstance(item, ast.Assign) else [item.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr == "vectorized"
+                ):
+                    return True
+                if isinstance(target, ast.Name) and target.id == "vectorized":
+                    return True
+    return False
+
+
+def _reads_vectorized(node: ast.ClassDef) -> bool:
+    """Any *read* of the flag: a branch test or a forwarding expression."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and child.attr == "vectorized"
+            and isinstance(child.ctx, ast.Load)
+        ):
+            return True
+    return False
+
+
+class VectorizedParityChecker(Checker):
+    name = "vectorized-parity"
+    rules = (
+        Rule(
+            "VEC001",
+            "vectorized flag set but never branched on",
+            "PRs 4-5 parity contract: every vectorized kernel keeps a "
+            "vectorized=False reference path for the bit-equivalence "
+            "property tests",
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            if not _class_sets_vectorized(stmt):
+                continue
+            if _reads_vectorized(stmt):
+                continue
+            yield Finding(
+                path=module.rel,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                rule="VEC001",
+                message=(
+                    f"class {stmt.name} sets a vectorized flag but never "
+                    "reads it; the vectorized=False reference path is "
+                    "unreachable or missing"
+                ),
+            )

@@ -1,0 +1,128 @@
+"""Wall-clock discipline: no clock reads in deterministic layers.
+
+The chunk-invariance contract (PR 3) and the bit-identical
+``deterministic_summary()`` guarantee (PR 6) both require that nothing in
+the data/model layers depends on *when* it runs.  Wall-clock reads are
+reserved for :mod:`repro.serving` (request timestamps), :mod:`repro.telemetry`
+(event timestamps) and :mod:`repro.experiments` (progress reporting):
+
+``CLK001``
+    Wall-clock read (``time.time``, ``datetime.now``, ...) outside the
+    serving/telemetry/experiments layers.
+``CLK002``
+    Monotonic timer (``time.perf_counter``, ``time.monotonic``, ...) in a
+    strictly deterministic layer outside a ``TELEMETRY.enabled`` guard.
+    Guarded timing is the PR 6 span convention (cost only when telemetry is
+    on); unguarded timing in a model layer is dead weight on the hot path
+    and an invitation to leak timings into persisted state.  The evaluation
+    layer is exempt: measuring training time per batch is its job
+    (Table 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    iter_nodes_with_scope,
+    resolve_dotted,
+    scope_qualname,
+)
+from repro.analysis.guards import GuardIndex
+
+#: Layers allowed to read wall clocks at all.
+WALLCLOCK_LAYERS = frozenset({"serving", "telemetry", "experiments", "analysis"})
+
+#: Layers where even monotonic timers need a telemetry guard.
+MONOTONIC_GUARDED_LAYERS = frozenset(
+    {"root", "core", "drift", "ensembles", "linear", "persistence", "streams", "trees", "utils"}
+)
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_MONOTONIC_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+
+
+class WallClockChecker(Checker):
+    name = "wallclock-discipline"
+    rules = (
+        Rule(
+            "CLK001",
+            "wall-clock read outside serving/telemetry/experiments",
+            "PR 3/PR 6 determinism contracts: model and data layers must "
+            "not depend on when they run",
+        ),
+        Rule(
+            "CLK002",
+            "unguarded monotonic timer in a deterministic layer",
+            "PR 6 telemetry convention: timing in model layers is only "
+            "paid for under an `if TELEMETRY.enabled:` guard",
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo, project: Project) -> Iterator[Finding]:
+        if module.layer in WALLCLOCK_LAYERS:
+            return
+        table = module.import_table()
+        guards: GuardIndex | None = None
+        for node, scope in iter_nodes_with_scope(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolve_dotted(node.func, table)
+            if dotted is None:
+                continue
+            where = scope_qualname(module, scope)
+            if dotted in _WALLCLOCK_CALLS:
+                yield Finding(
+                    path=module.rel,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    rule="CLK001",
+                    message=f"wall-clock read {dotted}() in {where}",
+                )
+            elif (
+                dotted in _MONOTONIC_CALLS
+                and module.layer in MONOTONIC_GUARDED_LAYERS
+            ):
+                if guards is None:
+                    guards = GuardIndex(module.tree)
+                if not guards.guarded(node):
+                    yield Finding(
+                        path=module.rel,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        rule="CLK002",
+                        message=(
+                            f"monotonic timer {dotted}() in {where} outside "
+                            "a TELEMETRY.enabled guard"
+                        ),
+                    )

@@ -1,0 +1,64 @@
+"""Pinned metric/span/event-kind inventory (generated file).
+
+Regenerate with ``python -m repro.analysis --regen-inventory`` after adding
+a metric, span, or event kind; the metric-naming checker (MET002-MET004)
+treats any name outside this catalogue as a typo.
+"""
+
+from __future__ import annotations
+
+METRIC_NAMES: frozenset[str] = frozenset(
+    (
+        "repro.dmt.candidates_admitted_total",
+        "repro.dmt.candidates_evicted_total",
+        "repro.dmt.prunes_total",
+        "repro.dmt.resplits_total",
+        "repro.dmt.splits_total",
+        "repro.drift.detections_total",
+        "repro.ensemble.member_drifts_total",
+        "repro.evaluation.batch_seconds",
+        "repro.evaluation.runs_total",
+        "repro.experiments.cell_seconds",
+        "repro.experiments.cells_total",
+        "repro.serving.active_version",
+        "repro.serving.champion_drifts_total",
+        "repro.serving.latency_seconds",
+        "repro.serving.promotions_total",
+        "repro.serving.registrations_total",
+        "repro.serving.requests_total",
+        "repro.serving.rows_total",
+        "repro.trace.span_seconds",
+        "repro.tree.alternates_started_total",
+        "repro.tree.prunes_total",
+        "repro.tree.splits_total",
+        "repro.tree.swaps_total",
+    )
+)
+
+SPAN_NAMES: frozenset[str] = frozenset(
+    (
+        "evaluation.prequential",
+        "scenario.generate",
+        "stream.generate_block",
+    )
+)
+
+EVENT_KINDS: frozenset[str] = frozenset(
+    (
+        "dmt.candidate_update",
+        "dmt.prune",
+        "dmt.resplit",
+        "dmt.split",
+        "drift.detected",
+        "ensemble.member_drift",
+        "evaluation.completed",
+        "grid.cell_completed",
+        "serving.drift",
+        "serving.hot_swap",
+        "serving.promotion",
+        "tree.alternate_started",
+        "tree.prune",
+        "tree.split",
+        "tree.swap",
+    )
+)

@@ -1,0 +1,130 @@
+"""Generator for the pinned metric/span/event-kind inventory.
+
+``python -m repro.analysis --regen-inventory`` statically collects every
+literal metric name (``counter``/``gauge``/``histogram`` call sites plus
+``repro.*`` module constants), every literal span name, and the event-kind
+catalogue from :mod:`repro.telemetry.events`' ``SCHEMAS``, then rewrites
+:mod:`repro.analysis.inventory`.  The inventory is deliberately a checked-in
+artefact: adding a time series to the system is a reviewed change, not a
+side effect of a stray call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.core import Project
+
+_EVENTS_REL = "repro/telemetry/events.py"
+_METRIC_CALLS = frozenset({"counter", "gauge", "histogram"})
+
+_HEADER = '''"""Pinned metric/span/event-kind inventory (generated file).
+
+Regenerate with ``python -m repro.analysis --regen-inventory`` after adding
+a metric, span, or event kind; the metric-naming checker (MET002-MET004)
+treats any name outside this catalogue as a typo.
+"""
+
+from __future__ import annotations
+
+'''
+
+
+def collect_inventory(
+    project: Project,
+) -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+    """Statically harvest (metric names, span names, event kinds)."""
+    metrics: set[str] = set()
+    spans: set[str] = set()
+    for module in project.modules:
+        if module.layer == "analysis":
+            continue
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if (
+                    isinstance(target, ast.Name)
+                    and isinstance(stmt.value, ast.Constant)
+                    and isinstance(stmt.value.value, str)
+                    and stmt.value.value.startswith("repro.")
+                ):
+                    metrics.add(stmt.value.value)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            arg = node.args[0] if node.args else None
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+                continue
+            if node.func.attr in _METRIC_CALLS:
+                metrics.add(arg.value)
+            elif node.func.attr == "span":
+                spans.add(arg.value)
+    return frozenset(metrics), frozenset(spans), frozenset(_event_kinds(project))
+
+
+def _event_kinds(project: Project) -> set[str]:
+    """Event kinds: the keys of ``SCHEMAS`` in repro.telemetry.events."""
+    kinds: set[str] = set()
+    events = project.module(_EVENTS_REL)
+    if events is None:
+        return kinds
+    constants: dict[str, str] = {}
+    for stmt in events.tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+            ):
+                constants[target.id] = stmt.value.value
+    for stmt in events.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(
+            isinstance(target, ast.Name) and target.id == "SCHEMAS"
+            for target in targets
+        ):
+            continue
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Dict):
+                for key in node.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        kinds.add(key.value)
+                    elif isinstance(key, ast.Name) and key.id in constants:
+                        kinds.add(constants[key.id])
+    return kinds
+
+
+def render_inventory(
+    metrics: frozenset[str], spans: frozenset[str], events: frozenset[str]
+) -> str:
+    def block(name: str, values: frozenset[str]) -> str:
+        if not values:
+            return f"{name}: frozenset[str] = frozenset()\n"
+        items = "".join(f'        "{value}",\n' for value in sorted(values))
+        return f"{name}: frozenset[str] = frozenset(\n    (\n{items}    )\n)\n"
+
+    return (
+        _HEADER
+        + block("METRIC_NAMES", metrics)
+        + "\n"
+        + block("SPAN_NAMES", spans)
+        + "\n"
+        + block("EVENT_KINDS", events)
+    )
+
+
+def write_inventory(project: Project, path: Path | None = None) -> Path:
+    """Regenerate the inventory module next to this package (or at ``path``)."""
+    if path is None:
+        path = Path(__file__).resolve().parent / "inventory.py"
+    metrics, spans, events = collect_inventory(project)
+    path.write_text(render_inventory(metrics, spans, events), encoding="utf-8")
+    return path

@@ -41,7 +41,7 @@ from repro.telemetry import DMT_CANDIDATES, TELEMETRY
 _COUNTERS: dict = {"generation": -1}
 
 
-def _candidate_counters():
+def _telemetry_candidate_counters():
     registry = TELEMETRY.registry
     if _COUNTERS["generation"] != registry.generation:
         _COUNTERS["admitted"] = registry.counter(
@@ -602,7 +602,7 @@ class CandidateManager:
                     n_evicted=len(evicted),
                     n_stored=len(self._features),
                 )
-                admitted_total, evicted_total = _candidate_counters()
+                admitted_total, evicted_total = _telemetry_candidate_counters()
                 admitted_total.inc(len(admitted))
                 if evicted:
                     evicted_total.inc(len(evicted))

@@ -123,7 +123,7 @@ class ADWIN(BaseDriftDetector):
             drift = False
         self.in_drift = drift
         if drift and TELEMETRY.enabled:
-            self._record_drift()
+            self._telemetry_drift()
         return drift
 
     def update_many(self, values) -> int | None:

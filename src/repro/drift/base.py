@@ -45,7 +45,7 @@ class BaseDriftDetector(PersistableStateMixin, ABC):
                 return index
         return None
 
-    def _record_drift(self, n_observations: int | None = None) -> None:
+    def _telemetry_drift(self, n_observations: int | None = None) -> None:
         """Emit the telemetry record for a detection that just fired.
 
         Only drift-fire sites call this (behind a ``TELEMETRY.enabled``

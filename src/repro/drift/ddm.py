@@ -76,7 +76,7 @@ class DDM(BaseDriftDetector):
         if level > baseline + self.drift_level * self._min_std:
             self.in_drift = True
             if TELEMETRY.enabled:
-                self._record_drift()
+                self._telemetry_drift()
             self._reset_statistics()
         elif level > baseline + self.warning_level * self._min_std:
             self.in_warning = True
@@ -130,7 +130,7 @@ class DDM(BaseDriftDetector):
                 self.in_drift = True
                 self.in_warning = False
                 if TELEMETRY.enabled:
-                    self._record_drift(n)
+                    self._telemetry_drift(n)
                 self._reset_statistics()
                 return index
             if level > min_error_rate + warning_level * min_std:

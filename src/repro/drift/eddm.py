@@ -85,7 +85,7 @@ class EDDM(BaseDriftDetector):
         if ratio < self.drift_level:
             self.in_drift = True
             if TELEMETRY.enabled:
-                self._record_drift()
+                self._telemetry_drift()
             self._reset_statistics()
         elif ratio < self.warning_level:
             self.in_warning = True
@@ -139,7 +139,7 @@ class EDDM(BaseDriftDetector):
                 self.in_drift = True
                 self.in_warning = False
                 if TELEMETRY.enabled:
-                    self._record_drift(base + position + 1)
+                    self._telemetry_drift(base + position + 1)
                 self._reset_statistics()
                 self.n_observations = 0
                 return position

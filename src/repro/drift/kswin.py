@@ -89,7 +89,7 @@ class KSWIN(BaseDriftDetector):
         if statistic > critical:
             self.in_drift = True
             if TELEMETRY.enabled:
-                self._record_drift()
+                self._telemetry_drift()
             # Keep only the newest values: the old concept is discarded.
             self._window = self._window[-self.stat_size:]
         return self.in_drift

@@ -70,7 +70,7 @@ class PageHinkley(BaseDriftDetector):
         )
         if self.in_drift:
             if TELEMETRY.enabled:
-                self._record_drift()
+                self._telemetry_drift()
             self._reset_statistics()
         return self.in_drift
 
@@ -99,7 +99,7 @@ class PageHinkley(BaseDriftDetector):
             if n >= min_observations and cumulative - minimum > threshold:
                 self.in_drift = True
                 if TELEMETRY.enabled:
-                    self._record_drift(n)
+                    self._telemetry_drift(n)
                 self._reset_statistics()
                 return index
         self.n_observations = n

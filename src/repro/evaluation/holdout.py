@@ -14,8 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.base import StreamClassifier
 from repro.evaluation.complexity import summarize_trace
 from repro.evaluation.metrics import ConfusionMatrix

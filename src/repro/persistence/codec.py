@@ -73,7 +73,7 @@ class Encoder:
         self._keepalive: list[object] = []
 
     # ------------------------------------------------------------------ API
-    def encode(self, obj, path: str = "$"):
+    def encode(self, obj: object, path: str = "$") -> object:
         if obj is None or isinstance(obj, (bool, int, str)):
             return obj
         if isinstance(obj, float):
@@ -114,7 +114,7 @@ class Encoder:
         return self._encode_object(obj, path)
 
     # ------------------------------------------------------------- encoders
-    def _encode_ndarray(self, array: np.ndarray, path: str):
+    def _encode_ndarray(self, array: np.ndarray, path: str) -> dict[str, object]:
         if array.dtype == object:
             raise SerializationError(
                 f"Cannot serialise object-dtype array at {path}; "
@@ -128,14 +128,14 @@ class Encoder:
             "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
         }
 
-    def _encode_npscalar(self, scalar: np.generic):
+    def _encode_npscalar(self, scalar: np.generic) -> dict[str, object]:
         return {
             TAG: "npscalar",
             "dtype": scalar.dtype.str,
             "data": base64.b64encode(scalar.tobytes()).decode("ascii"),
         }
 
-    def _encode_rng(self, rng: np.random.Generator):
+    def _encode_rng(self, rng: np.random.Generator) -> dict[str, object]:
         ref = self._memo.get(id(rng))
         if ref is not None:
             return {TAG: "ref", "id": ref}
@@ -145,7 +145,7 @@ class Encoder:
         state = rng.bit_generator.state
         return {TAG: "rng", "id": ref, "state": self.encode(state)}
 
-    def _encode_class(self, cls: type, path: str):
+    def _encode_class(self, cls: type, path: str) -> dict[str, object]:
         try:
             name = registered_name(cls)
         except KeyError:
@@ -155,7 +155,7 @@ class Encoder:
             ) from None
         return {TAG: "class", "class": name}
 
-    def _encode_object(self, obj, path: str):
+    def _encode_object(self, obj: object, path: str) -> dict[str, object]:
         ref = self._memo.get(id(obj))
         if ref is not None:
             return {TAG: "ref", "id": ref}
@@ -191,7 +191,7 @@ class Decoder:
     def __init__(self) -> None:
         self._memo: dict[int, object] = {}
 
-    def decode(self, data):
+    def decode(self, data: object) -> object:
         if data is None or isinstance(data, (bool, int, float, str)):
             return data
         if isinstance(data, list):
@@ -209,31 +209,31 @@ class Decoder:
         return decoder(data)
 
     # ------------------------------------------------------------- decoders
-    def _decode_map(self, data) -> dict:
+    def _decode_map(self, data: dict[str, object]) -> dict[object, object]:
         return {self.decode(key): self.decode(value) for key, value in data["items"]}
 
-    def _decode_tuple(self, data) -> tuple:
+    def _decode_tuple(self, data: dict[str, object]) -> tuple[object, ...]:
         return tuple(self.decode(item) for item in data["items"])
 
-    def _decode_set(self, data) -> set:
+    def _decode_set(self, data: dict[str, object]) -> set[object]:
         return {self.decode(item) for item in data["items"]}
 
-    def _decode_frozenset(self, data) -> frozenset:
+    def _decode_frozenset(self, data: dict[str, object]) -> frozenset[object]:
         return frozenset(self.decode(item) for item in data["items"])
 
-    def _decode_bytes(self, data) -> bytes:
+    def _decode_bytes(self, data: dict[str, object]) -> bytes:
         return base64.b64decode(data["data"])
 
-    def _decode_ndarray(self, data) -> np.ndarray:
+    def _decode_ndarray(self, data: dict[str, object]) -> np.ndarray:
         raw = base64.b64decode(data["data"])
         array = np.frombuffer(raw, dtype=np.dtype(data["dtype"]))
         return array.reshape(data["shape"]).copy()
 
-    def _decode_npscalar(self, data):
+    def _decode_npscalar(self, data: dict[str, object]) -> np.generic:
         raw = base64.b64decode(data["data"])
         return np.frombuffer(raw, dtype=np.dtype(data["dtype"]))[0]
 
-    def _decode_rng(self, data) -> np.random.Generator:
+    def _decode_rng(self, data: dict[str, object]) -> np.random.Generator:
         state = self.decode(data["state"])
         bit_generator_cls = getattr(np.random, state["bit_generator"])
         bit_generator = bit_generator_cls()
@@ -242,10 +242,10 @@ class Decoder:
         self._memo[data["id"]] = rng
         return rng
 
-    def _decode_class(self, data) -> type:
+    def _decode_class(self, data: dict[str, object]) -> type:
         return resolve(data["class"])
 
-    def _decode_ref(self, data):
+    def _decode_ref(self, data: dict[str, object]) -> object:
         try:
             return self._memo[data["id"]]
         except KeyError:
@@ -253,7 +253,7 @@ class Decoder:
                 f"Dangling reference #{data['id']} in serialized state."
             ) from None
 
-    def _decode_object(self, data):
+    def _decode_object(self, data: dict[str, object]) -> object:
         cls = resolve(data["class"])
         obj = cls.__new__(cls)
         # Memoise before decoding attributes so cyclic references resolve.
@@ -269,11 +269,11 @@ class Decoder:
         return obj
 
 
-def encode(obj) -> object:
+def encode(obj: object) -> object:
     """Encode an object graph into a JSON-safe state tree."""
     return Encoder().encode(obj)
 
 
-def decode(data) -> object:
+def decode(data: object) -> object:
     """Rebuild an object graph from a state tree produced by :func:`encode`."""
     return Decoder().decode(data)

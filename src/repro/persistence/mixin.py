@@ -7,11 +7,16 @@ the import graph acyclic (the model modules themselves import those bases).
 
 from __future__ import annotations
 
+import os
+from typing import TypeVar
+
+_P = TypeVar("_P", bound="PersistableStateMixin")
+
 
 class PersistableStateMixin:
     """``to_state`` / ``from_state`` / ``save`` backed by :mod:`repro.persistence`."""
 
-    def to_state(self) -> dict:
+    def to_state(self) -> dict[str, object]:
         """Serialise this object into a versioned, JSON-safe state dict.
 
         The state captures the full object graph -- structure, weights,
@@ -24,7 +29,7 @@ class PersistableStateMixin:
         return to_state(self)
 
     @classmethod
-    def from_state(cls, state: dict):
+    def from_state(cls: type[_P], state: dict[str, object]) -> _P:
         """Rebuild an object from a state dict produced by :meth:`to_state`."""
         from repro.persistence.serialize import from_state
 
@@ -35,7 +40,7 @@ class PersistableStateMixin:
             )
         return obj
 
-    def save(self, path) -> str:
+    def save(self, path: str | os.PathLike[str]) -> str:
         """Write this object to ``path`` (see :func:`repro.persistence.save_model`)."""
         from repro.persistence.serialize import save_model
 

@@ -9,12 +9,26 @@ All classes shipped with :mod:`repro` are registered on import of
 
 from __future__ import annotations
 
+from typing import Callable, overload
+
 _CLASSES: dict[str, type] = {}
 _NAMES: dict[type, str] = {}
 _defaults_loaded = False
 
 
-def register(cls: type | None = None, *, name: str | None = None):
+@overload
+def register(cls: type, *, name: str | None = None) -> type: ...
+
+
+@overload
+def register(
+    cls: None = None, *, name: str | None = None
+) -> Callable[[type], type]: ...
+
+
+def register(
+    cls: type | None = None, *, name: str | None = None
+) -> type | Callable[[type], type]:
     """Register ``cls`` under ``name`` (default: its ``__qualname__``).
 
     Usable directly (``register(MyClass)``) or as a decorator

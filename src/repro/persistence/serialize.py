@@ -32,7 +32,7 @@ FORMAT_NAME = "repro-model"
 FORMAT_VERSION = 1
 
 
-def atomic_write_json(path: str | os.PathLike, document) -> str:
+def atomic_write_json(path: str | os.PathLike[str], document: object) -> str:
     """Write ``document`` as JSON via temp file + rename.
 
     A concurrent reader (serving process hot-reloading models, a resuming
@@ -55,7 +55,7 @@ def atomic_write_json(path: str | os.PathLike, document) -> str:
     return path
 
 
-def to_state(obj) -> dict:
+def to_state(obj: object) -> dict[str, object]:
     """Serialise a model or drift detector into a JSON-safe state dict."""
     return {
         "format": FORMAT_NAME,
@@ -66,7 +66,7 @@ def to_state(obj) -> dict:
     }
 
 
-def from_state(state: dict):
+def from_state(state: dict[str, object]) -> object:
     """Rebuild a model or drift detector from :func:`to_state` output."""
     _check_header(state)
     # Resolving the class up-front gives a clear error for unknown models
@@ -75,7 +75,7 @@ def from_state(state: dict):
     return decode(state["payload"])
 
 
-def save_model(model, path: str | os.PathLike) -> str:
+def save_model(model: object, path: str | os.PathLike[str]) -> str:
     """Write ``model`` to ``path`` as a versioned JSON model file.
 
     The file is written atomically (temp file + rename) so a concurrent
@@ -85,14 +85,14 @@ def save_model(model, path: str | os.PathLike) -> str:
     return atomic_write_json(path, to_state(model))
 
 
-def load_model(path: str | os.PathLike):
+def load_model(path: str | os.PathLike[str]) -> object:
     """Load a model previously written by :func:`save_model`."""
     with open(os.fspath(path)) as handle:
         state = json.load(handle)
     return from_state(state)
 
 
-def read_header(path: str | os.PathLike) -> dict:
+def read_header(path: str | os.PathLike[str]) -> dict[str, object]:
     """Return the format header of a model file without decoding the payload."""
     with open(os.fspath(path)) as handle:
         state = json.load(handle)
@@ -100,7 +100,7 @@ def read_header(path: str | os.PathLike) -> dict:
     return {key: state[key] for key in ("format", "format_version", "repro_version", "class")}
 
 
-def _check_header(state: dict) -> None:
+def _check_header(state: dict[str, object]) -> None:
     if not isinstance(state, dict) or state.get("format") != FORMAT_NAME:
         raise SerializationError(
             f"Not a {FORMAT_NAME} document (missing or wrong 'format' field)."

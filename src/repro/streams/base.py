@@ -114,7 +114,7 @@ class _LazyBlockRng:
         self._block = block
         self._rng = None
 
-    def __getattr__(self, name):
+    def __getattr__(self, name: str) -> object:
         if self._rng is None:
             self._rng = self._stream.block_rng(self._block)
         return getattr(self._rng, name)
@@ -169,6 +169,9 @@ class SeededStream(Stream):
         )
         self.seed = None if seed is None else int(seed)
         self._entropy = (
+            # Deliberate one-time OS-entropy draw: seed=None streams stay
+            # deterministic under restart()/persistence because the entropy
+            # is drawn once here and kept. repro-lint: disable=RNG002
             int(np.random.SeedSequence().entropy) if seed is None else int(seed)
         )
         self._init_transient()
@@ -228,13 +231,13 @@ class SeededStream(Stream):
         return self.block_rng(0, channel=self.CHANNEL_SETUP)
 
     # ----------------------------------------------------------------- hooks
-    def _initial_state(self):
+    def _initial_state(self) -> object:
         """Sequential state before row 0 (stateful streams only)."""
         return None
 
     @abstractmethod
     def _generate_block(
-        self, rng: np.random.Generator, start: int, count: int, state
+        self, rng: np.random.Generator, start: int, count: int, state: object
     ) -> tuple[np.ndarray, np.ndarray, object]:
         """Produce one whole block ``[start, start + count)``.
 
@@ -249,7 +252,7 @@ class SeededStream(Stream):
     def _block_row_count(self, block: int) -> int:
         return min(self.block_size, self.n_samples - block * self.block_size)
 
-    def _state_for_block(self, block: int):
+    def _state_for_block(self, block: int) -> object:
         if not self.stateful:
             return None
         states = self._boundary_states

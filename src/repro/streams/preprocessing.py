@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.streams.base import Stream
+
 
 class OnlineMinMaxScaler:
     """Incremental min-max normalisation to ``[0, 1]``.
@@ -68,7 +70,7 @@ class NormalizedStream:
     anywhere a stream is expected.
     """
 
-    def __init__(self, stream) -> None:
+    def __init__(self, stream: Stream) -> None:
         self.stream = stream
         self.scaler = OnlineMinMaxScaler()
         self.name = getattr(stream, "name", type(stream).__name__)
@@ -100,11 +102,11 @@ class NormalizedStream:
     def n_remaining_samples(self) -> int:
         return self.stream.n_remaining_samples()
 
-    def next_sample(self, batch_size: int = 1):
+    def next_sample(self, batch_size: int = 1) -> tuple[np.ndarray, np.ndarray]:
         X, y = self.stream.next_sample(batch_size)
         return self.scaler.partial_fit_transform(X), y
 
-    def take(self, n: int | None = None):
+    def take(self, n: int | None = None) -> tuple[np.ndarray, np.ndarray]:
         count = (
             self.n_remaining_samples() if n is None
             else min(n, self.n_remaining_samples())

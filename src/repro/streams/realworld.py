@@ -264,7 +264,9 @@ class SurrogateStream(SeededStream):
         )
 
     # ------------------------------------------------------------- sampling
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         concept = self._concept_draws()
         prototypes = concept["prototypes"]
         y = rng.choice(self.n_classes, size=count, p=self.class_weights)

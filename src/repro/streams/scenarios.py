@@ -189,7 +189,9 @@ class DriftInjector(StreamTransform):
         exponent = -4.0 * (fraction - self.drift_position) / self.width
         return 1.0 / (1.0 + math.exp(min(max(exponent, -500.0), 500.0)))
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         # Scalar block-level probes first: most blocks lie entirely on one
         # side of the transition and need neither index vectors nor coins
         # nor the second child stream.
@@ -237,7 +239,9 @@ class DriftInjector(StreamTransform):
         y = np.where(take_alternate, y_alt, y_base)
         return X, y, None
 
-    def _incremental_block(self, start, count, first, last):
+    def _incremental_block(
+        self, start: int, count: int, first: float, last: float
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         if last <= self.drift_position:  # blend still exactly zero
             X, y = wrapped_rows(self.stream, start, count)
             return X, y, None
@@ -297,7 +301,9 @@ class FeatureCorruptor(StreamTransform):
         self.end = float(end)
         self.missing_value = float(missing_value)
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X, y = self._source(start, count)
         active = self._window_mask(start, count, self.start, self.end)
         if active is False:
@@ -346,7 +352,9 @@ class LabelNoiser(StreamTransform):
         self.start = float(start)
         self.end = float(end)
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X, y = self._source(start, count)
         active = self._window_mask(start, count, self.start, self.end)
         if active is False or self.noise == 0.0:
@@ -422,7 +430,9 @@ class ImbalanceShifter(StreamTransform):
             ramp = float(fraction >= self.start)
         return (1.0 - ramp) * empirical + ramp * self.class_weights
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         source_lo = int(start * self.oversample)
         source_hi = min(
             int((start + count) * self.oversample), self.stream.n_samples

@@ -200,7 +200,7 @@ class AgrawalGenerator(SeededStream):
         return int(current[0]), int(current[0]), 0.0
 
     # ----------------------------------------------------------- sampling
-    def _sample_records(self, rng, count: int) -> np.ndarray:
+    def _sample_records(self, rng: np.random.Generator, count: int) -> np.ndarray:
         salary = rng.uniform(20_000.0, 150_000.0, size=count)
         commission = rng.uniform(10_000.0, 75_000.0, size=count)
         commission = np.where(salary >= 75_000.0, 0.0, commission)
@@ -215,7 +215,7 @@ class AgrawalGenerator(SeededStream):
             [salary, commission, age, elevel, car, zipcode, hvalue, hyears, loan]
         )
 
-    def _perturb(self, rng, records: np.ndarray) -> np.ndarray:
+    def _perturb(self, rng: np.random.Generator, records: np.ndarray) -> np.ndarray:
         if self.perturbation <= 0:
             return records
         perturbed = records.copy()
@@ -227,7 +227,9 @@ class AgrawalGenerator(SeededStream):
         perturbed[:, columns] = np.clip(values, bounds[:, 0], bounds[:, 1])
         return perturbed
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         records = self._sample_records(rng, count)
         fractions = np.arange(start, start + count) / self.n_samples
         current, blend = self._blend_at(fractions)

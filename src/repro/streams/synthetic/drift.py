@@ -117,7 +117,9 @@ class ConceptDriftStream(SeededStream):
         """Probability of drawing from the drift stream at position ``index``."""
         return float(self.drift_probabilities(np.array([index]))[0])
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         probabilities = self.drift_probabilities(np.arange(start, start + count))
         if probabilities.max() < 1e-15:
             from_drift = np.zeros(count, dtype=bool)

@@ -78,12 +78,12 @@ class HyperplaneGenerator(SeededStream):
     def _drifting(self) -> bool:
         return self.n_drift_features > 0 and self.magnitude != 0.0
 
-    def _initial_state(self):
+    def _initial_state(self) -> tuple[np.ndarray, np.ndarray]:
         weights = self.setup_rng().uniform(0.0, 1.0, size=self.n_features)
         return weights, np.ones(self.n_features)
 
     def _weight_trajectory(
-        self, reverse: np.ndarray, state
+        self, reverse: np.ndarray, state: tuple[np.ndarray, np.ndarray]
     ) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
         """Per-row weight matrix for one block plus the end-of-block state.
 
@@ -132,7 +132,9 @@ class HyperplaneGenerator(SeededStream):
         return self.weights_at(self._position)
 
     # ------------------------------------------------------------- sampling
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X = rng.uniform(0.0, 1.0, size=(count, self.n_features))
         if self._drifting:
             reverse = rng.random((count, self.n_drift_features)) < self.sigma

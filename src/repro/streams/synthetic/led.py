@@ -72,7 +72,9 @@ class LEDGenerator(SeededStream):
         fraction = index / self.n_samples
         return sum(1 for position in self.drift_positions if fraction >= position)
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         y = rng.integers(0, 10, size=count)
         segments = _DIGIT_SEGMENTS[y].copy()
         if self.noise > 0:

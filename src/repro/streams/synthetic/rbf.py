@@ -93,7 +93,9 @@ class RandomRBFGenerator(SeededStream):
         return _reflect_unit(travelled)
 
     # ------------------------------------------------------------- sampling
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         concept = self._concept_draws()
         chosen = rng.choice(self.n_centroids, size=count, p=concept["weights"])
         offsets = rng.normal(size=(count, self.n_features))

@@ -71,7 +71,9 @@ class SEAGenerator(SeededStream):
     def threshold_at(self, index: int) -> float:
         return float(_SEA_THRESHOLDS[self.concept_at(index)])
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X = rng.uniform(0.0, 10.0, size=(count, 3))
         thresholds = _SEA_THRESHOLDS[self.concepts_at(np.arange(start, start + count))]
         y = (X[:, 0] + X[:, 1] <= thresholds).astype(int)

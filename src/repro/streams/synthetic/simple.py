@@ -59,7 +59,9 @@ class STAGGERGenerator(SeededStream):
         ).astype(int)
         return rules[concepts, np.arange(len(X))]
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X = rng.integers(0, 3, size=(count, 3)).astype(float)
         offsets = drift_offsets(
             self.drift_positions, np.arange(start, start + count), self.n_samples
@@ -104,7 +106,9 @@ class SineGenerator(SeededStream):
         rules = np.stack([sine1, ~sine1, sine2, ~sine2]).astype(int)
         return rules[concepts, np.arange(len(X))]
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         X = rng.uniform(0.0, 1.0, size=(count, 2))
         offsets = drift_offsets(
             self.drift_positions, np.arange(start, start + count), self.n_samples
@@ -146,7 +150,9 @@ class MixedGenerator(SeededStream):
         )
         return int((self.classification_function + offsets[0]) % 2)
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         v = rng.integers(0, 2, size=count)
         w = rng.integers(0, 2, size=count)
         x = rng.uniform(0.0, 1.0, size=count)

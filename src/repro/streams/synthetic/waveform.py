@@ -47,7 +47,9 @@ class WaveformGenerator(SeededStream):
         self.noise_std = float(noise_std)
         self._waveforms = _base_waveforms()
 
-    def _generate_block(self, rng, start, count, state):
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
         y = rng.integers(0, 3, size=count)
         mixing = rng.uniform(0.0, 1.0, size=count)[:, None]
         pairs = np.asarray(self._PAIRS)[y]

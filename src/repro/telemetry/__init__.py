@@ -35,6 +35,8 @@ expands to the process id for parallel workers).
 
 from __future__ import annotations
 
+import os
+
 from repro.telemetry.events import (
     DMT_CANDIDATES,
     DMT_PRUNE,
@@ -65,7 +67,7 @@ from repro.telemetry.metrics import (
     prometheus_name,
 )
 from repro.telemetry.runtime import TELEMETRY, Telemetry
-from repro.telemetry.tracing import SPAN_METRIC, Span, Tracer
+from repro.telemetry.tracing import SPAN_METRIC, Span, SpanHandle, Tracer
 
 
 def enable(events_path: str | None = None) -> Telemetry:
@@ -87,25 +89,27 @@ def is_enabled() -> bool:
     return TELEMETRY.enabled
 
 
-def span(name: str):
+def span(name: str) -> SpanHandle:
     """Timed span context manager (no-op while telemetry is disabled)."""
     return TELEMETRY.span(name)
 
 
-def emit(kind: str, **fields) -> Event:
+def emit(kind: str, **fields: object) -> Event:
     """Record one structured event (requires telemetry to be meaningful)."""
     return TELEMETRY.emit(kind, **fields)
 
 
-def counter(name: str, /, **labels) -> Counter:
+def counter(name: str, /, **labels: object) -> Counter:
     return TELEMETRY.counter(name, **labels)
 
 
-def gauge(name: str, /, **labels) -> Gauge:
+def gauge(name: str, /, **labels: object) -> Gauge:
     return TELEMETRY.gauge(name, **labels)
 
 
-def histogram(name: str, /, buckets=DEFAULT_LATENCY_BUCKETS, **labels) -> Histogram:
+def histogram(
+    name: str, /, buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS, **labels: object
+) -> Histogram:
     return TELEMETRY.histogram(name, buckets, **labels)
 
 
@@ -114,7 +118,7 @@ def prometheus() -> str:
     return TELEMETRY.registry.to_prometheus()
 
 
-def export_run(directory) -> dict[str, str]:
+def export_run(directory: str | os.PathLike[str]) -> dict[str, str]:
     """Write metrics.prom / metrics.json / events.jsonl into ``directory``."""
     return TELEMETRY.export_run(directory)
 

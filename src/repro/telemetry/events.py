@@ -171,7 +171,7 @@ class EventLog:
             self._sink.flush()
 
     # ------------------------------------------------------------------ emit
-    def emit(self, kind: str, **fields) -> Event:
+    def emit(self, kind: str, **fields: object) -> Event:
         """Record one event; validate required fields of known kinds."""
         required = SCHEMAS.get(kind)
         if required is not None and not required <= fields.keys():

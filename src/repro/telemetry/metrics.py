@@ -28,6 +28,7 @@ from __future__ import annotations
 import re
 import threading
 from bisect import bisect_left
+from typing import Callable, TypeVar, cast
 
 import numpy as np
 
@@ -78,7 +79,7 @@ class Counter:
             raise ValueError(f"Counters only increase, got {amount!r}.")
         self.value += amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         return {"value": self.value}
 
 
@@ -100,7 +101,7 @@ class Gauge:
     def dec(self, amount: float = 1.0) -> None:
         self.value -= amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         return {"value": self.value}
 
 
@@ -200,7 +201,7 @@ class Histogram:
                 return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
         return self.max
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         p50, p95, p99 = self.percentiles((0.5, 0.95, 0.99))
         return {
             "count": self.count,
@@ -215,6 +216,11 @@ class Histogram:
         }
 
 
+#: Union of the concrete metric primitives stored in a registry.
+Metric = Counter | Gauge | Histogram
+_M = TypeVar("_M", bound="Metric")
+
+
 class MetricsRegistry:
     """Hierarchically-named store of counters, gauges and histograms.
 
@@ -225,7 +231,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
         #: Bumped by :meth:`clear`.  Hot call sites that cache metric handles
         #: (the tracer, the scoring service) compare it to the generation
         #: they resolved under, so a cleared registry invalidates every
@@ -233,7 +239,13 @@ class MetricsRegistry:
         self.generation = 0
 
     # --------------------------------------------------------------- lookups
-    def _get_or_create(self, name: str, labels: dict, factory, kind: str):
+    def _get_or_create(
+        self,
+        name: str,
+        labels: dict[str, object],
+        factory: Callable[[], _M],
+        kind: str,
+    ) -> _M:
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
@@ -247,14 +259,14 @@ class MetricsRegistry:
             raise TypeError(
                 f"Metric {name!r} is a {metric.kind}, requested as {kind}."
             )
-        return metric
+        return cast("_M", metric)
 
     # ``name`` is positional-only so labels may themselves be called
     # ``name`` (e.g. per-deployment serving metrics).
-    def counter(self, name: str, /, **labels) -> Counter:
+    def counter(self, name: str, /, **labels: object) -> Counter:
         return self._get_or_create(name, labels, Counter, "counter")
 
-    def gauge(self, name: str, /, **labels) -> Gauge:
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
         return self._get_or_create(name, labels, Gauge, "gauge")
 
     def histogram(
@@ -262,7 +274,7 @@ class MetricsRegistry:
         name: str,
         /,
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
-        **labels,
+        **labels: object,
     ) -> Histogram:
         return self._get_or_create(
             name, labels, lambda: Histogram(buckets), "histogram"
@@ -277,7 +289,7 @@ class MetricsRegistry:
         return len(self._metrics)
 
     # --------------------------------------------------------------- exports
-    def snapshot(self) -> list[dict]:
+    def snapshot(self) -> list[dict[str, object]]:
         """JSON-safe records of every metric, sorted by (name, labels)."""
         with self._lock:
             items = sorted(self._metrics.items())

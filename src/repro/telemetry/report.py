@@ -25,7 +25,7 @@ def _format_table(headers: list[str], rows: list[list[str]]) -> str:
         else len(str(headers[col]))
         for col in range(len(headers))
     ]
-    def fmt(row):
+    def fmt(row: list[str]) -> str:
         return "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)).rstrip()
     lines = [fmt(headers), fmt(["-" * width for width in widths])]
     lines.extend(fmt(row) for row in rows)

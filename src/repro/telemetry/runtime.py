@@ -26,9 +26,15 @@ from __future__ import annotations
 
 import os
 
-from repro.telemetry.events import EventLog
-from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
-from repro.telemetry.tracing import NOOP_SPAN, Tracer
+from repro.telemetry.events import Event, EventLog
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracing import NOOP_SPAN, SpanHandle, Tracer
 
 
 class Telemetry:
@@ -63,26 +69,32 @@ class Telemetry:
         return self
 
     # ----------------------------------------------------------- primitives
-    def counter(self, name: str, /, **labels):
+    def counter(self, name: str, /, **labels: object) -> Counter:
         return self.registry.counter(name, **labels)
 
-    def gauge(self, name: str, /, **labels):
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
         return self.registry.gauge(name, **labels)
 
-    def histogram(self, name: str, /, buckets=DEFAULT_LATENCY_BUCKETS, **labels):
+    def histogram(
+        self,
+        name: str,
+        /,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
         return self.registry.histogram(name, buckets, **labels)
 
-    def emit(self, kind: str, **fields):
+    def emit(self, kind: str, **fields: object) -> Event:
         return self.events.emit(kind, **fields)
 
-    def span(self, name: str):
+    def span(self, name: str) -> SpanHandle:
         """Timed context manager; the shared no-op when disabled."""
         if not self.enabled:
             return NOOP_SPAN
         return self.tracer.span(name)
 
     # -------------------------------------------------------------- exports
-    def export_run(self, directory: str | os.PathLike) -> dict[str, str]:
+    def export_run(self, directory: str | os.PathLike[str]) -> dict[str, str]:
         """Write ``metrics.prom``, ``metrics.json`` and ``events.jsonl``.
 
         Returns the mapping of artefact name to written path; the directory

@@ -15,6 +15,11 @@ from __future__ import annotations
 
 import threading
 from time import perf_counter
+from types import TracebackType
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.telemetry.metrics import Histogram, MetricsRegistry
 
 #: Histogram receiving one observation per finished span, labelled by path.
 SPAN_METRIC = "repro.trace.span_seconds"
@@ -28,7 +33,12 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 
@@ -50,7 +60,7 @@ class Span:
         self._name = name
         self.path = name
         self._started = 0.0
-        self._active_stack: list | None = None
+        self._active_stack: list[str] | None = None
 
     def __enter__(self) -> "Span":
         stack = self._tracer._stack()
@@ -61,8 +71,14 @@ class Span:
         self._started = perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         elapsed = perf_counter() - self._started
+        assert self._active_stack is not None  # __enter__ ran
         self._active_stack.pop()
         self._tracer._histogram(self.path).observe(elapsed)
         return False
@@ -71,13 +87,13 @@ class Span:
 class Tracer:
     """Per-process tracer writing span durations into a metrics registry."""
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.registry = registry
         self._local = threading.local()
-        self._histograms: dict[str, object] = {}
+        self._histograms: dict[str, Histogram] = {}
         self._generation = registry.generation
 
-    def _histogram(self, path: str):
+    def _histogram(self, path: str) -> Histogram:
         """Histogram handle for a span path, cached per registry generation.
 
         Span exits are the hottest metric lookup in the package (two per
@@ -95,10 +111,10 @@ class Tracer:
 
     def _stack(self) -> list[str]:
         try:
-            return self._local.stack
+            stack: list[str] = self._local.stack
         except AttributeError:
             stack = self._local.stack = []
-            return stack
+        return stack
 
     def span(self, name: str) -> Span:
         """A context manager timing ``name`` (nested under active spans)."""
@@ -108,3 +124,7 @@ class Tracer:
         """Path of the innermost active span on this thread, if any."""
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
+
+
+#: What span() call sites receive: a real span or the shared no-op.
+SpanHandle = Span | _NoopSpan

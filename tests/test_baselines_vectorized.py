@@ -31,7 +31,6 @@ from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifie
 from repro.ensembles.bagging import OzaBaggingClassifier
 from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
 from repro.evaluation.prequential import PrequentialEvaluator
-from repro.linear.naive_bayes import GaussianNaiveBayes
 from repro.persistence import load_model
 from repro.streams.synthetic import LEDGenerator, SEAGenerator
 from repro.trees.criteria import GiniCriterion, InfoGainCriterion, VarianceReductionCriterion

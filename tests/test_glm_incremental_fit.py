@@ -1,7 +1,6 @@
 """Additional tests for the instance-incremental GLM training path."""
 
 import numpy as np
-import pytest
 
 from repro.linear.glm import IncrementalGLM
 from tests.conftest import make_linear_binary

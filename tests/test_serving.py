@@ -15,7 +15,6 @@ from repro import (
     ModelRegistry,
     ScoringService,
 )
-from repro.core.nodes import DMTNode
 from repro.drift import DDM
 from repro.drift.base import BaseDriftDetector
 from tests.conftest import make_linear_binary, make_multiclass_blobs, make_xor

@@ -13,7 +13,6 @@ ordering is asserted instead).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

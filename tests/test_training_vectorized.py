@@ -13,7 +13,6 @@ single-row and constant-feature batches), binary and multiclass:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

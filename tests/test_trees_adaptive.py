@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.streams.synthetic import SEAGenerator, SineGenerator
+from repro.streams.synthetic import SEAGenerator
 from repro.trees.efdt import ExtremelyFastDecisionTreeClassifier
 from repro.trees.hat import HoeffdingAdaptiveTreeClassifier
 from repro.trees.vfdt import HoeffdingTreeClassifier
