@@ -1,0 +1,175 @@
+"""Scenario-grammar throughput benchmark.
+
+Builds a pinned sample of grammar programs (the same ``seed=42`` family the
+fuzz-grid test harness pins) and measures every sampled pipeline against
+the raw source generators it consumes.  A drifting program genuinely reads
+*two* concept streams (and an imbalanced one over-generates its base), so
+the fair baseline is the summed cost of all raw sources, not the single
+innermost stream.  The acceptance gate: **every sampled pipeline must cost
+less than 2x its raw sources** -- composing a program out of the grammar
+may not be more expensive than generating its data again.  Per-layer
+overhead against the directly wrapped stream is reported as well
+(informational; a mixing layer over a near-free generator legitimately
+exceeds its single wrapped stream).
+
+Results go to ``BENCH_grammar.json`` next to the repository root.  Run
+with::
+
+    PYTHONPATH=src python benchmarks/bench_grammar.py
+
+Environment knobs: ``REPRO_BENCH_ROWS`` (stream length, default 200_000),
+``REPRO_BENCH_BATCH`` (consumption batch size, default 2_048),
+``REPRO_BENCH_REPEATS`` (timing repeats, best-of, default 3),
+``REPRO_BENCH_PROGRAMS`` (number of sampled programs, default 12) and
+``REPRO_BENCH_OVERHEAD_GATE`` (default 2.0; CI loosens it because
+wall-clock ratios on shared runners flake under load).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.streams.grammar import build_program, sample_program
+
+OUTPUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_grammar.json")
+GRAMMAR_SEED = 42
+OVERHEAD_GATE = float(os.environ.get("REPRO_BENCH_OVERHEAD_GATE", "2.0"))
+
+
+def _consume(stream, batch_size: int) -> int:
+    stream.restart()
+    rows = 0
+    while stream.has_more_samples():
+        X, _ = stream.next_sample(batch_size)
+        rows += len(X)
+    return rows
+
+
+def _stack_times(stack, batch_size: int, repeats: int) -> list[tuple[float, int]]:
+    """Best-of (seconds, rows) per full consumption of every stream.
+
+    Passes are interleaved (one timing pass per stream, repeated) so slow
+    machine-load drift cannot bias the ratios between the streams.  Total
+    seconds -- not rows/sec -- is what the gate compares: an oversampling
+    layer's source stream is longer than the pipeline it feeds, and that
+    extra generation work is part of the raw cost.
+    """
+    best = [float("inf")] * len(stack)
+    rows = [0] * len(stack)
+    for _ in range(repeats):
+        for index, stream in enumerate(stack):
+            started = time.perf_counter()
+            rows[index] = _consume(stream, batch_size)
+            best[index] = min(best[index], time.perf_counter() - started)
+    return list(zip(best, rows))
+
+
+def _raw_sources(stack) -> list:
+    """Every raw generator the pipeline consumes.
+
+    The wrapped chain's innermost stream, plus the alternate concept of
+    every two-stream mixing layer (drift injectors, oscillation).
+    """
+    sources = [stack[-1]]
+    for stream in stack:
+        alternate = getattr(stream, "alternate", None)
+        if alternate is not None:
+            sources.append(alternate)
+    return sources
+
+
+def sampled_overhead(
+    n_programs: int, n_rows: int, batch_size: int, repeats: int
+) -> dict:
+    """Overhead of every sampled program vs its raw sources (the gate)."""
+    records = {}
+    for index in range(n_programs):
+        program = sample_program(GRAMMAR_SEED, index)
+        pipeline = build_program(program, n_rows)
+        stack = pipeline.layer_stack()  # outermost ... base
+        sources = _raw_sources(stack)
+        timed = stack + sources[1:]  # stack already times the innermost
+        timings = _stack_times(timed, batch_size, max(repeats, 5))
+        stack_times = timings[: len(stack)]
+        source_times = timings[len(stack) - 1 :]
+        # Total seconds of all raw sources combined: what generating the
+        # program's data costs without any grammar layer on top.
+        raw_seconds = sum(seconds for seconds, _ in source_times)
+        pipeline_seconds, pipeline_rows = stack_times[0]
+        layers = {}
+        for outer in range(len(stack) - 1):
+            layer_name = type(stack[outer]).__name__
+            seconds, rows = stack_times[outer]
+            inner_seconds, _ = stack_times[outer + 1]
+            layers[f"{outer}:{layer_name}"] = {
+                "rows_per_second": round(rows / seconds),
+                "overhead_vs_wrapped": round(seconds / inner_seconds, 3),
+            }
+        records[program.name] = {
+            "axes": " -> ".join(program.axes()),
+            "n_raw_sources": len(sources),
+            "raw_sources_seconds": round(raw_seconds, 6),
+            "program_seconds": round(pipeline_seconds, 6),
+            "program_rows_per_second": round(pipeline_rows / pipeline_seconds),
+            "overhead_vs_raw_sources": round(pipeline_seconds / raw_seconds, 3),
+            "layers": layers,
+        }
+    return records
+
+
+def main() -> dict:
+    n_rows = int(os.environ.get("REPRO_BENCH_ROWS", "200000"))
+    batch_size = int(os.environ.get("REPRO_BENCH_BATCH", "2048"))
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+    n_programs = int(os.environ.get("REPRO_BENCH_PROGRAMS", "12"))
+
+    sampled = sampled_overhead(n_programs, n_rows, batch_size, repeats)
+    failures = {
+        name: record["overhead_vs_raw_sources"]
+        for name, record in sampled.items()
+        if record["overhead_vs_raw_sources"] >= OVERHEAD_GATE
+    }
+    document = {
+        "benchmark": "scenario_grammar_throughput",
+        "grammar_seed": GRAMMAR_SEED,
+        "n_programs": n_programs,
+        "n_rows": n_rows,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "overhead_gate": OVERHEAD_GATE,
+        "programs": sampled,
+        "overhead_gate_failures": failures,
+    }
+    with open(OUTPUT_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in sampled)
+    print(
+        f"{'sampled program':<{width}}  program r/s  program s  raw srcs s"
+        "  sources  vs raw sources"
+    )
+    for name, record in sampled.items():
+        print(
+            f"{name:<{width}}  {record['program_rows_per_second']:>11,}"
+            f"  {record['program_seconds']:>9.4f}"
+            f"  {record['raw_sources_seconds']:>10.4f}"
+            f"  {record['n_raw_sources']:>7}"
+            f"  {record['overhead_vs_raw_sources']:>13.3f}x"
+        )
+    if failures:
+        raise SystemExit(
+            f"Overhead gate (< {OVERHEAD_GATE}x vs raw sources) failed "
+            f"for: {sorted(failures)}"
+        )
+    print(
+        f"\nAll sampled programs under the {OVERHEAD_GATE}x overhead gate "
+        f"-> {OUTPUT_PATH}"
+    )
+    return document
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,8 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "ensemble.member_drift",
         "evaluation.completed",
         "grid.cell_completed",
+        "label.delayed_flush",
+        "scenario.sampled",
         "serving.drift",
         "serving.hot_swap",
         "serving.promotion",

@@ -94,6 +94,55 @@ class KSWIN(BaseDriftDetector):
             self._window = self._window[-self.stat_size:]
         return self.in_drift
 
+    def update_many(self, values) -> int | None:
+        """Consume values until the first drift (see the base class).
+
+        The window prefill is bulk-extended (no tests fire while the window
+        is short), and the full-window stretch runs as a tightened scalar
+        loop with the critical value hoisted out; the KS sub-sample is
+        drawn from the same generator in the same order as scalar
+        :meth:`update` calls, so drift indices and detector state stay
+        bit-identical to the per-value path.
+        """
+        values = np.asarray(values, dtype=float).ravel()
+        if len(values) == 0:
+            return None
+        window = self._window
+        window_size = self.window_size
+        stat_size = self.stat_size
+        rng = self._rng
+        critical = math.sqrt(-0.5 * math.log(self.alpha / 2.0)) * math.sqrt(
+            2.0 / stat_size
+        )
+        consumed = 0
+        if len(window) < window_size - 1:
+            # Short-window stretch: scalar updates only append (no test, no
+            # draw), so the whole prefix enters the window in one extend.
+            take = min(window_size - 1 - len(window), len(values))
+            window.extend(values[:take].tolist())
+            self.n_observations += take
+            consumed = take
+            if consumed == len(values):
+                self.in_drift = False
+                return None
+        telemetry_on = TELEMETRY.enabled
+        for offset, value in enumerate(values[consumed:].tolist()):
+            self.n_observations += 1
+            window.append(value)
+            if len(window) > window_size:
+                window.pop(0)
+            recent = np.asarray(window[-stat_size:])
+            older = np.asarray(window[:-stat_size])
+            sampled = rng.choice(older, size=stat_size, replace=False)
+            if _ks_statistic(recent, sampled) > critical:
+                self.in_drift = True
+                if telemetry_on:
+                    self._telemetry_drift()
+                self._window = window[-stat_size:]
+                return consumed + offset
+        self.in_drift = False
+        return None
+
     def reset(self) -> "KSWIN":
         super().reset()
         self._window = []

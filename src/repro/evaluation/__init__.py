@@ -3,11 +3,18 @@
 from repro.evaluation.metrics import (
     ConfusionMatrix,
     accuracy_score,
+    cohen_kappa_score,
     f1_score,
+    kappa_m_score,
+    kappa_temporal_score,
     precision_score,
     recall_score,
 )
-from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.evaluation.prequential import (
+    PrequentialEvaluator,
+    PrequentialResult,
+    PrequentialSession,
+)
 from repro.evaluation.holdout import HoldoutEvaluator, HoldoutResult
 from repro.evaluation.complexity import sliding_window_aggregate, summarize_trace
 
@@ -17,8 +24,12 @@ __all__ = [
     "precision_score",
     "recall_score",
     "f1_score",
+    "cohen_kappa_score",
+    "kappa_m_score",
+    "kappa_temporal_score",
     "PrequentialEvaluator",
     "PrequentialResult",
+    "PrequentialSession",
     "HoldoutEvaluator",
     "HoldoutResult",
     "sliding_window_aggregate",

@@ -118,6 +118,41 @@ class ConfusionMatrix(PersistableStateMixin):
     def f1(self, average: str = "macro") -> float:
         return self._average(self.per_class_f1(), average)
 
+    def kappa(self) -> float:
+        """Cohen's kappa: agreement beyond a chance classifier.
+
+        Chance agreement is the dot product of the row and column marginals;
+        degenerate windows (empty, or marginals that make chance agreement
+        exactly one, e.g. a single observed class) score ``0.0``.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        observed = float(np.trace(self.matrix)) / total
+        expected = float(
+            self.matrix.sum(axis=1) @ self.matrix.sum(axis=0)
+        ) / (total * total)
+        if expected >= 1.0:
+            return 0.0
+        return (observed - expected) / (1.0 - expected)
+
+    def kappa_m(self) -> float:
+        """Kappa-M: agreement beyond the majority-class classifier.
+
+        Replaces Cohen's chance term with the accuracy of always predicting
+        the most frequent *true* class (Bifet et al., 2015), which is the
+        honest baseline on imbalanced streams.  Degenerate windows (empty,
+        or a majority baseline that is already perfect) score ``0.0``.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        observed = float(np.trace(self.matrix)) / total
+        majority = float(self.matrix.sum(axis=1).max()) / total
+        if majority >= 1.0:
+            return 0.0
+        return (observed - majority) / (1.0 - majority)
+
 
 def _matrix_from(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionMatrix:
     classes = np.unique(np.concatenate([np.asarray(y_true), np.asarray(y_pred)]))
@@ -150,3 +185,45 @@ def recall_score(
 def f1_score(y_true: np.ndarray, y_pred: np.ndarray, average: str = "macro") -> float:
     """Averaged F1 measure (harmonic mean of precision and recall)."""
     return _matrix_from(y_true, y_pred).f1(average)
+
+
+def cohen_kappa_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Cohen's kappa (see :meth:`ConfusionMatrix.kappa`)."""
+    return _matrix_from(y_true, y_pred).kappa()
+
+
+def kappa_m_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Kappa-M against the majority-class baseline
+    (see :meth:`ConfusionMatrix.kappa_m`)."""
+    return _matrix_from(y_true, y_pred).kappa_m()
+
+
+def kappa_temporal_score(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    last_label: object | None = None,
+) -> float:
+    """Kappa-temporal: agreement beyond the no-change classifier.
+
+    The reference classifier predicts the *previous* true label (Zliobaite
+    et al., 2015), which is the honest baseline on autocorrelated streams.
+    ``last_label`` is the true label that preceded ``y_true`` (the previous
+    batch's final label in a streaming evaluation); without one the first
+    row counts as a no-change miss.  Degenerate windows (empty, or a
+    no-change baseline that is already perfect) score ``0.0``.
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if len(y_true) != len(y_pred):
+        raise ValueError("y_true and y_pred have inconsistent lengths.")
+    if len(y_true) == 0:
+        return 0.0
+    observed = float(np.mean(y_true == y_pred))
+    no_change = np.zeros(len(y_true), dtype=bool)
+    no_change[1:] = y_true[1:] == y_true[:-1]
+    if last_label is not None:
+        no_change[0] = y_true[0] == last_label
+    reference = float(np.mean(no_change))
+    if reference >= 1.0:
+        return 0.0
+    return (observed - reference) / (1.0 - reference)

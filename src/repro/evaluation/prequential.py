@@ -3,9 +3,23 @@
 This is the evaluation protocol of the paper (Section VI-A): the stream is
 consumed in batches of 0.1% of its length; every batch is first used to test
 the current model (predictions are scored) and then to train it.  Per
-iteration the evaluator records the F1 measure, the accuracy, the model's
-complexity (number of splits and parameters under the paper's counting
-rules) and the wall-clock time of the test+train step.
+iteration the evaluator records the F1 measure, the accuracy, the kappa
+statistics (Cohen, kappa-M, kappa-temporal), the model's complexity (number
+of splits and parameters under the paper's counting rules) and the
+wall-clock time of the test+train step.
+
+Beyond the paper's protocol the evaluator understands *label realism*
+(:func:`repro.streams.scenarios.label_realism`): streams wrapped in a
+:class:`~repro.streams.scenarios.LabelDelayer` release each row's label only
+after the configured arrival lag -- predictions are still made at test time,
+but training on a row waits until its label has arrived -- and rows withheld
+by a :class:`~repro.streams.scenarios.LabelMasker` are never scored or
+trained on (semi-supervised updates).  With neither wrapper present the
+protocol reduces exactly (bit-for-bit) to the paper's test-then-train loop.
+
+The evaluation loop itself lives in :class:`PrequentialSession`, which is
+persistable mid-run: a session saved after any batch and loaded elsewhere
+continues to the identical result, pending delayed labels included.
 """
 
 from __future__ import annotations
@@ -17,10 +31,11 @@ import numpy as np
 
 from repro.base import StreamClassifier
 from repro.evaluation.complexity import sliding_window_aggregate, summarize_trace
-from repro.evaluation.metrics import ConfusionMatrix
+from repro.evaluation.metrics import ConfusionMatrix, kappa_temporal_score
 from repro.persistence.mixin import PersistableStateMixin
-from repro.streams.base import Stream, prequential_batches
-from repro.telemetry import EVALUATION_COMPLETED, TELEMETRY
+from repro.streams.base import Stream
+from repro.streams.scenarios import LabelRealism, label_realism
+from repro.telemetry import EVALUATION_COMPLETED, LABEL_DELAYED_FLUSH, TELEMETRY
 from repro.utils.validation import check_in_range
 
 
@@ -32,14 +47,25 @@ class PrequentialResult(PersistableStateMixin):
     dataset_name: str
     n_iterations: int = 0
     n_samples: int = 0
+    n_scored_samples: int = 0
+    n_trained_samples: int = 0
     f1_trace: list[float] = field(default_factory=list)
     accuracy_trace: list[float] = field(default_factory=list)
+    kappa_trace: list[float] = field(default_factory=list)
+    kappa_m_trace: list[float] = field(default_factory=list)
+    kappa_temporal_trace: list[float] = field(default_factory=list)
     n_splits_trace: list[float] = field(default_factory=list)
     n_parameters_trace: list[float] = field(default_factory=list)
     time_trace: list[float] = field(default_factory=list)
     overall_confusion: ConfusionMatrix | None = None
 
     # ------------------------------------------------------------ summaries
+    def _trace(self, name: str) -> list[float]:
+        # Results decoded from state files written before a trace existed
+        # lack the attribute entirely (the codec rebuilds via ``__new__``);
+        # treat those as empty rather than failing.
+        return getattr(self, name, [])
+
     @property
     def f1_mean(self) -> float:
         return summarize_trace(self.f1_trace)[0]
@@ -51,6 +77,18 @@ class PrequentialResult(PersistableStateMixin):
     @property
     def accuracy_mean(self) -> float:
         return summarize_trace(self.accuracy_trace)[0]
+
+    @property
+    def kappa_mean(self) -> float:
+        return summarize_trace(self._trace("kappa_trace"))[0]
+
+    @property
+    def kappa_m_mean(self) -> float:
+        return summarize_trace(self._trace("kappa_m_trace"))[0]
+
+    @property
+    def kappa_temporal_mean(self) -> float:
+        return summarize_trace(self._trace("kappa_temporal_trace"))[0]
 
     @property
     def n_splits_mean(self) -> float:
@@ -92,9 +130,14 @@ class PrequentialResult(PersistableStateMixin):
             "dataset": self.dataset_name,
             "n_iterations": self.n_iterations,
             "n_samples": self.n_samples,
+            "n_scored_samples": getattr(self, "n_scored_samples", 0),
+            "n_trained_samples": getattr(self, "n_trained_samples", 0),
             "f1_mean": self.f1_mean,
             "f1_std": self.f1_std,
             "accuracy_mean": self.accuracy_mean,
+            "kappa_mean": self.kappa_mean,
+            "kappa_m_mean": self.kappa_m_mean,
+            "kappa_temporal_mean": self.kappa_temporal_mean,
             "n_splits_mean": self.n_splits_mean,
             "n_splits_std": self.n_splits_std,
             "n_parameters_mean": self.n_parameters_mean,
@@ -116,6 +159,238 @@ class PrequentialResult(PersistableStateMixin):
         return record
 
 
+class PrequentialSession(PersistableStateMixin):
+    """One resumable prequential run: evaluator loop state as an object.
+
+    Construct, then either :meth:`run` to completion or call :meth:`step`
+    batch by batch.  The session is persistable between any two batches
+    (model, stream position, traces, pending delayed labels and the
+    kappa-temporal threading all round-trip through
+    :mod:`repro.persistence`), and a resumed session finishes with the
+    bit-identical :class:`PrequentialResult` of an uninterrupted one.
+
+    Label realism is read from the stream's transform stack once at
+    construction: rows whose label never arrives are excluded from scoring
+    and training; rows with delayed labels are scored at test time but only
+    trained once their label has arrived (pending rows are buffered, and any
+    labels still pending at end of stream are flushed into one final
+    training step).
+    """
+
+    _repro_transient = ("_batch_histogram",)
+
+    def __init__(
+        self,
+        model: StreamClassifier,
+        stream: Stream,
+        batch_fraction: float = 0.001,
+        batch_size: int | None = None,
+        f1_average: str = "weighted",
+        warmup_batches: int = 1,
+        model_name: str | None = None,
+        dataset_name: str | None = None,
+        max_iterations: int | None = None,
+    ) -> None:
+        check_in_range(batch_fraction, "batch_fraction", 0.0, 1.0, inclusive=False)
+        if warmup_batches < 1:
+            raise ValueError(f"warmup_batches must be >= 1, got {warmup_batches!r}.")
+        if stream.position != 0:
+            # A partially (or fully) consumed stream would silently produce a
+            # truncated or empty result; rewind so suite-level stream reuse
+            # always evaluates the full stream.
+            stream.restart()
+        self.model = model
+        self.stream = stream
+        self.f1_average = f1_average
+        self.warmup_batches = int(warmup_batches)
+        self.max_iterations = max_iterations
+        self.batch_size = (
+            max(int(round(stream.n_samples * batch_fraction)), 1)
+            if batch_size is None
+            else int(batch_size)
+        )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}.")
+        self.realism: LabelRealism = label_realism(stream)
+        self.result = PrequentialResult(
+            model_name=model_name or type(model).__name__,
+            dataset_name=dataset_name
+            or getattr(stream, "name", type(stream).__name__),
+        )
+        self.confusion = ConfusionMatrix(stream.classes)
+        self.fitted = False
+        self.finished = False
+        #: Previous arrived true label (kappa-temporal's no-change reference).
+        self.last_label: int | None = None
+        #: Rows seen but not yet trained on (labels still in flight).
+        self.pending_X: np.ndarray = np.empty((0, stream.n_features))
+        self.pending_y: np.ndarray = np.empty(0, dtype=np.int64)
+        self.pending_arrival: np.ndarray = np.empty(0, dtype=np.int64)
+        self._init_transient()
+
+    def _init_transient(self) -> None:
+        self._batch_histogram = None
+
+    def _telemetry_histogram(self):
+        if self._batch_histogram is None:
+            self._batch_histogram = TELEMETRY.histogram(
+                "repro.evaluation.batch_seconds",
+                model=self.result.model_name,
+                dataset=self.result.dataset_name,
+            )
+        return self._batch_histogram
+
+    # ----------------------------------------------------------------- loop
+    def _has_more(self) -> bool:
+        if self.finished or not self.stream.has_more_samples():
+            return False
+        return (
+            self.max_iterations is None
+            or self.result.n_iterations < self.max_iterations
+        )
+
+    def step(self) -> bool:
+        """Run one test-then-train batch; ``False`` once the run is over.
+
+        The final call (the one that returns ``False``) finalises the run:
+        pending delayed labels are flushed into training and the overall
+        confusion matrix and completion telemetry are recorded.
+        """
+        if not self._has_more():
+            self._finalize()
+            return False
+        result = self.result
+        classes = self.confusion.classes
+        X, y = self.stream.next_sample(self.batch_size)
+        start_index = self.stream.position - len(y)
+        realism = self.realism
+        available: np.ndarray | None = (
+            realism.available(start_index, len(y)) if realism.maskers else None
+        )
+
+        started = time.perf_counter()
+        if result.n_iterations >= self.warmup_batches and self.fitted:
+            predictions = self.model.predict(X)
+            if available is None:
+                y_scored, pred_scored = y, predictions
+            else:
+                y_scored, pred_scored = y[available], predictions[available]
+            batch_confusion = ConfusionMatrix(classes)
+            if len(y_scored):
+                batch_confusion.update(y_scored, pred_scored)
+                self.confusion.update(y_scored, pred_scored)
+            result.f1_trace.append(batch_confusion.f1(self.f1_average))
+            result.accuracy_trace.append(batch_confusion.accuracy())
+            result.kappa_trace.append(batch_confusion.kappa())
+            result.kappa_m_trace.append(batch_confusion.kappa_m())
+            result.kappa_temporal_trace.append(
+                kappa_temporal_score(y_scored, pred_scored, self.last_label)
+            )
+            result.n_scored_samples += len(y_scored)
+        self._train(X, y, start_index, available)
+        elapsed = time.perf_counter() - started
+
+        # Thread the no-change reference across batches: the last label that
+        # actually arrived (warmup batches included, masked rows excluded).
+        y_arrived = y if available is None else y[available]
+        if len(y_arrived):
+            self.last_label = int(y_arrived[-1])
+
+        report = self.model.complexity()
+        result.n_splits_trace.append(report.n_splits)
+        result.n_parameters_trace.append(report.n_parameters)
+        result.time_trace.append(elapsed)
+        result.n_iterations += 1
+        result.n_samples += len(y)
+        if TELEMETRY.enabled:
+            # Reuse the already-measured duration: no extra clock reads
+            # inside the timed region.
+            self._telemetry_histogram().observe(elapsed)
+        if not self._has_more():
+            self._finalize()
+            return False
+        return True
+
+    def _train(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        start_index: int,
+        available: np.ndarray | None,
+    ) -> None:
+        """Train on every row whose label has arrived by the batch's end."""
+        classes = self.confusion.classes
+        if not self.realism.active:
+            self.model.partial_fit(X, y, classes=classes)
+            self.fitted = True
+            self.result.n_trained_samples += len(y)
+            return
+        arrival = self.realism.arrival(start_index, len(y))
+        if available is not None:
+            # Rows whose labels never arrive are dropped outright.
+            X, y, arrival = X[available], y[available], arrival[available]
+        if len(self.pending_arrival):
+            X = np.concatenate([self.pending_X, X])
+            y = np.concatenate([self.pending_y, y])
+            arrival = np.concatenate([self.pending_arrival, arrival])
+        # The delay is uniform, so arrivals are sorted: rows due by the
+        # current consumed position form a prefix.
+        due = int(np.searchsorted(arrival, self.stream.position, side="right"))
+        if due:
+            self.model.partial_fit(X[:due], y[:due], classes=classes)
+            self.fitted = True
+            self.result.n_trained_samples += due
+        self.pending_X = X[due:].copy()
+        self.pending_y = y[due:].copy()
+        self.pending_arrival = arrival[due:].copy()
+
+    def _finalize(self) -> None:
+        if self.finished:
+            return
+        result = self.result
+        n_pending = len(self.pending_arrival)
+        if n_pending:
+            # End of stream: the remaining in-flight labels are delivered and
+            # flushed into one final training step (scores are unaffected --
+            # there is nothing left to test on).
+            self.model.partial_fit(
+                self.pending_X, self.pending_y, classes=self.confusion.classes
+            )
+            self.fitted = True
+            result.n_trained_samples += n_pending
+            self.pending_X = self.pending_X[:0]
+            self.pending_y = self.pending_y[:0]
+            self.pending_arrival = self.pending_arrival[:0]
+            if TELEMETRY.enabled:
+                TELEMETRY.emit(
+                    LABEL_DELAYED_FLUSH,
+                    n_flushed=n_pending,
+                    n_pending=0,
+                    model=result.model_name,
+                    dataset=result.dataset_name,
+                )
+        result.overall_confusion = self.confusion
+        self.finished = True
+        if TELEMETRY.enabled:
+            TELEMETRY.emit(
+                EVALUATION_COMPLETED,
+                model=result.model_name,
+                dataset=result.dataset_name,
+                n_iterations=result.n_iterations,
+                n_samples=result.n_samples,
+            )
+            TELEMETRY.counter(
+                "repro.evaluation.runs_total", model=result.model_name
+            ).inc()
+
+    def run(self) -> PrequentialResult:
+        """Run the remaining batches to completion."""
+        with TELEMETRY.span("evaluation.prequential"):
+            while self.step():
+                pass
+        return self.result
+
+
 class PrequentialEvaluator:
     """Test-then-train evaluator with per-iteration tracing.
 
@@ -133,7 +408,9 @@ class PrequentialEvaluator:
     warmup_batches:
         Number of initial batches used purely for training (no scoring);
         the first batch can never be scored because the model has not seen
-        any data yet, so the minimum (and default) is 1.
+        any data yet, so the minimum (and default) is 1.  Under delayed
+        labels scoring additionally waits until the first labels have
+        arrived and trained the model.
     """
 
     def __init__(
@@ -151,6 +428,27 @@ class PrequentialEvaluator:
         self.f1_average = f1_average
         self.warmup_batches = int(warmup_batches)
 
+    def session(
+        self,
+        model: StreamClassifier,
+        stream: Stream,
+        model_name: str | None = None,
+        dataset_name: str | None = None,
+        max_iterations: int | None = None,
+    ) -> PrequentialSession:
+        """Create a resumable session for one model on one stream."""
+        return PrequentialSession(
+            model,
+            stream,
+            batch_fraction=self.batch_fraction,
+            batch_size=self.batch_size,
+            f1_average=self.f1_average,
+            warmup_batches=self.warmup_batches,
+            model_name=model_name,
+            dataset_name=dataset_name,
+            max_iterations=max_iterations,
+        )
+
     def evaluate(
         self,
         model: StreamClassifier,
@@ -160,64 +458,10 @@ class PrequentialEvaluator:
         max_iterations: int | None = None,
     ) -> PrequentialResult:
         """Run the prequential protocol of one model on one stream."""
-        if stream.position != 0:
-            # A partially (or fully) consumed stream would silently produce a
-            # truncated or empty result; rewind so suite-level stream reuse
-            # always evaluates the full stream.
-            stream.restart()
-        classes = stream.classes
-        result = PrequentialResult(
-            model_name=model_name or type(model).__name__,
-            dataset_name=dataset_name or getattr(stream, "name", type(stream).__name__),
-        )
-        confusion = ConfusionMatrix(classes)
-        telemetry_on = TELEMETRY.enabled
-        batch_histogram = (
-            TELEMETRY.histogram(
-                "repro.evaluation.batch_seconds",
-                model=result.model_name,
-                dataset=result.dataset_name,
-            )
-            if telemetry_on
-            else None
-        )
-        with TELEMETRY.span("evaluation.prequential"):
-            for iteration, (X, y) in enumerate(
-                prequential_batches(stream, self.batch_fraction, self.batch_size)
-            ):
-                started = time.perf_counter()
-                if iteration >= self.warmup_batches:
-                    predictions = model.predict(X)
-                    batch_confusion = ConfusionMatrix(classes)
-                    batch_confusion.update(y, predictions)
-                    confusion.update(y, predictions)
-                    result.f1_trace.append(batch_confusion.f1(self.f1_average))
-                    result.accuracy_trace.append(batch_confusion.accuracy())
-                model.partial_fit(X, y, classes=classes)
-                elapsed = time.perf_counter() - started
-
-                report = model.complexity()
-                result.n_splits_trace.append(report.n_splits)
-                result.n_parameters_trace.append(report.n_parameters)
-                result.time_trace.append(elapsed)
-                result.n_iterations += 1
-                result.n_samples += len(y)
-                if batch_histogram is not None:
-                    # Reuse the already-measured duration: no extra clock
-                    # reads inside the timed region.
-                    batch_histogram.observe(elapsed)
-                if max_iterations is not None and result.n_iterations >= max_iterations:
-                    break
-        result.overall_confusion = confusion
-        if telemetry_on:
-            TELEMETRY.emit(
-                EVALUATION_COMPLETED,
-                model=result.model_name,
-                dataset=result.dataset_name,
-                n_iterations=result.n_iterations,
-                n_samples=result.n_samples,
-            )
-            TELEMETRY.counter(
-                "repro.evaluation.runs_total", model=result.model_name
-            ).inc()
-        return result
+        return self.session(
+            model,
+            stream,
+            model_name=model_name,
+            dataset_name=dataset_name,
+            max_iterations=max_iterations,
+        ).run()

@@ -16,6 +16,14 @@ drift, feature corruption, label noise, prior shift; see
 
     python -m repro.experiments --scenarios --jobs 4 --store results-scenarios/
 
+``--fuzz-scenarios N`` runs N scenario programs sampled from the scenario
+grammar (``repro.streams.grammar``) under ``--seed``; program names are
+self-describing (``fuzz-<seed>-<index>``), so workers and resumed
+invocations rebuild the exact sampled streams::
+
+    python -m repro.experiments --fuzz-scenarios 12 --seed 42 \\
+        --scale 0.002 --batch-fraction 0.05 --jobs 2 --store results-fuzz/
+
 ``--tables`` regenerates Tables II-VI from the (possibly cached) results
 after the grid finishes; ``--figure4`` prints the ASCII Figure 4 scatter.
 """
@@ -26,7 +34,12 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import dataset_names, model_names, scenario_names
+from repro.experiments.registry import (
+    dataset_names,
+    fuzz_scenario_names,
+    model_names,
+    scenario_names,
+)
 from repro.experiments.runner import ExperimentSuite, print_progress
 from repro.experiments.tables import (
     table2_f1,
@@ -59,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the scenario catalogue "
         f"({', '.join(scenario_names())}) instead of the paper's data sets "
         "(with --datasets: in addition to the listed keys)",
+    )
+    parser.add_argument(
+        "--fuzz-scenarios", type=int, default=0, metavar="N",
+        help="add N scenario programs sampled from the scenario grammar "
+        "under --seed (names fuzz-<seed>-<index>, e.g. "
+        "'--fuzz-scenarios 12 --seed 42'); without --datasets/--scenarios "
+        "the grid runs only the sampled programs",
     )
     parser.add_argument(
         "--scale", type=float, default=0.02,
@@ -100,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.fuzz_scenarios < 0:
+        print("[repro] --fuzz-scenarios must be >= 0", file=sys.stderr)
+        return 2
     if args.datasets:
         grid_datasets = tuple(args.datasets)
         if args.scenarios:
@@ -108,8 +131,12 @@ def main(argv: list[str] | None = None) -> int:
             )
     elif args.scenarios:
         grid_datasets = tuple(scenario_names())
+    elif args.fuzz_scenarios:
+        grid_datasets = ()
     else:
         grid_datasets = tuple(dataset_names())
+    if args.fuzz_scenarios:
+        grid_datasets += tuple(fuzz_scenario_names(args.seed, args.fuzz_scenarios))
     suite = ExperimentSuite(
         model_names=tuple(args.models) if args.models else tuple(model_names()),
         dataset_names=grid_datasets,

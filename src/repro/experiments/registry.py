@@ -27,6 +27,7 @@ from repro.core.dmt import DynamicModelTree
 from repro.ensembles.adaptive_random_forest import AdaptiveRandomForestClassifier
 from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
 from repro.streams.base import Stream
+from repro.streams.grammar import build_program, sample_program
 from repro.streams.preprocessing import NormalizedStream
 from repro.streams.realworld import REAL_WORLD_SPECS, make_surrogate
 from repro.streams.scenarios import (
@@ -464,6 +465,81 @@ SCENARIO_REGISTRY: dict[str, ScenarioSpec] = _build_scenario_registry()
 
 
 # --------------------------------------------------------------------------
+# Fuzz scenarios (sampled from the grammar, self-describing names)
+# --------------------------------------------------------------------------
+#: Registry-name prefix of grammar-sampled scenarios.
+FUZZ_SCENARIO_PREFIX = "fuzz-"
+
+_FUZZ_SPEC_CACHE: dict[str, ScenarioSpec] = {}
+
+
+def parse_fuzz_name(name: str) -> tuple[int, int] | None:
+    """``(seed, index)`` of a ``fuzz-<seed>-<index>`` name, else ``None``."""
+    if not name.startswith(FUZZ_SCENARIO_PREFIX):
+        return None
+    parts = name[len(FUZZ_SCENARIO_PREFIX):].split("-")
+    if len(parts) != 2 or not all(part.isdigit() for part in parts):
+        return None
+    return int(parts[0]), int(parts[1])
+
+
+def fuzz_scenario_names(seed: int, count: int) -> list[str]:
+    """Registry names of the first ``count`` programs of fuzz seed ``seed``."""
+    return [f"{FUZZ_SCENARIO_PREFIX}{seed}-{index}" for index in range(count)]
+
+
+def _fuzz_factory(seed: int, index: int) -> Callable[[float, int | None], Stream]:
+    def factory(scale: float, run_seed: int | None) -> Stream:
+        # The program is a pure function of the name's own (seed, index) --
+        # the run seed is deliberately ignored so any worker, given just the
+        # registry name, rebuilds the bit-identical scenario.
+        n_samples = max(int(SCENARIO_NOMINAL_SAMPLES * scale), 500)
+        program = sample_program(seed, index)
+        return NormalizedStream(build_program(program, n_samples))
+
+    return factory
+
+
+def get_fuzz_spec(name: str) -> ScenarioSpec:
+    """Synthesise (and cache) the spec of a grammar-sampled scenario.
+
+    ``fuzz-<seed>-<index>`` names are self-describing: the program is
+    re-sampled from the embedded seed and index, so specs need no shared
+    state -- a parallel worker in a fresh process resolves the name exactly
+    like the submitting process did.
+    """
+    spec = _FUZZ_SPEC_CACHE.get(name)
+    if spec is not None:
+        return spec
+    parsed = parse_fuzz_name(name)
+    if parsed is None:
+        raise KeyError(
+            f"Malformed fuzz scenario name {name!r}; expected "
+            f"'{FUZZ_SCENARIO_PREFIX}<seed>-<index>'."
+        )
+    seed, index = parsed
+    program = sample_program(seed, index)
+    probe = build_program(program, 500)
+    drift = (
+        program.drift.kind.replace("_", " ") if program.drift is not None else "none"
+    )
+    spec = ScenarioSpec(
+        name=name,
+        display_name=f"Fuzz {seed}/{index}",
+        n_samples=SCENARIO_NOMINAL_SAMPLES,
+        n_features=probe.n_features,
+        n_classes=probe.n_classes,
+        drift=drift,
+        known_drift=program.drift is not None,
+        family="fuzz",
+        description=program.describe(),
+        factory=_fuzz_factory(seed, index),
+    )
+    _FUZZ_SPEC_CACHE[name] = spec
+    return spec
+
+
+# --------------------------------------------------------------------------
 # Models (Section VI-C)
 # --------------------------------------------------------------------------
 def _vfdt_factory(**kwargs) -> Callable[[int | None], StreamClassifier]:
@@ -549,12 +625,20 @@ def model_names(include_ensembles: bool = True) -> list[str]:
 
 
 def get_dataset_spec(name: str) -> DatasetSpec:
-    """Spec of a registered data set *or* scenario (shared key space)."""
+    """Spec of a registered data set, scenario or fuzz program.
+
+    ``fuzz-<seed>-<index>`` names are synthesised on demand from the
+    scenario grammar (:func:`get_fuzz_spec`); everything else resolves
+    through the shared data-set/scenario key space.
+    """
     spec = DATASET_REGISTRY.get(name) or SCENARIO_REGISTRY.get(name)
+    if spec is None and name.startswith(FUZZ_SCENARIO_PREFIX):
+        return get_fuzz_spec(name)
     if spec is None:
         raise KeyError(
             f"Unknown dataset {name!r}; available datasets: "
-            f"{sorted(DATASET_REGISTRY)}; scenarios: {sorted(SCENARIO_REGISTRY)}."
+            f"{sorted(DATASET_REGISTRY)}; scenarios: {sorted(SCENARIO_REGISTRY)}; "
+            f"or a sampled program '{FUZZ_SCENARIO_PREFIX}<seed>-<index>'."
         )
     return spec
 

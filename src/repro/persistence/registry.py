@@ -103,7 +103,7 @@ def ensure_default_registrations() -> None:
     from repro.ensembles.bagging import OzaBaggingClassifier
     from repro.ensembles.leveraging_bagging import LeveragingBaggingClassifier
     from repro.evaluation.metrics import ConfusionMatrix
-    from repro.evaluation.prequential import PrequentialResult
+    from repro.evaluation.prequential import PrequentialResult, PrequentialSession
     from repro.linear.glm import IncrementalGLM
     from repro.linear.naive_bayes import GaussianNaiveBayes
     from repro.trees.base import LeafNode, SplitNode
@@ -136,8 +136,13 @@ def ensure_default_registrations() -> None:
         DriftInjector,
         FeatureCorruptor,
         ImbalanceShifter,
+        LabelDelayer,
+        LabelMasker,
         LabelNoiser,
+        LabelRealism,
+        OscillatingDrift,
         ScenarioPipeline,
+        SchemaShifter,
     )
     from repro.streams.synthetic import (
         AgrawalGenerator,
@@ -190,6 +195,7 @@ def ensure_default_registrations() -> None:
         # Evaluation artefacts (experiment result store).
         ConfusionMatrix,
         PrequentialResult,
+        PrequentialSession,
         # Serving metrics (histogram-backed stats survive hot restarts).
         ScoringStats,
         ScoringStatsArchive,
@@ -222,6 +228,11 @@ def ensure_default_registrations() -> None:
         FeatureCorruptor,
         LabelNoiser,
         ImbalanceShifter,
+        OscillatingDrift,
+        SchemaShifter,
+        LabelDelayer,
+        LabelMasker,
+        LabelRealism,
         ScenarioPipeline,
     ):
         register(cls)

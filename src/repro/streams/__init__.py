@@ -24,9 +24,21 @@ from repro.streams.scenarios import (
     DriftInjector,
     FeatureCorruptor,
     ImbalanceShifter,
+    LabelDelayer,
+    LabelMasker,
     LabelNoiser,
+    LabelRealism,
+    OscillatingDrift,
     ScenarioPipeline,
+    SchemaShifter,
     StreamTransform,
+    label_realism,
+)
+from repro.streams.grammar import (
+    LayerSpec,
+    ScenarioProgram,
+    build_program,
+    sample_program,
 )
 
 __all__ = [
@@ -54,5 +66,15 @@ __all__ = [
     "FeatureCorruptor",
     "LabelNoiser",
     "ImbalanceShifter",
+    "OscillatingDrift",
+    "SchemaShifter",
+    "LabelDelayer",
+    "LabelMasker",
+    "LabelRealism",
+    "label_realism",
     "ScenarioPipeline",
+    "LayerSpec",
+    "ScenarioProgram",
+    "sample_program",
+    "build_program",
 ]

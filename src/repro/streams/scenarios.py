@@ -32,8 +32,25 @@ Available transforms
     Prior-probability shift: re-samples each block from an over-sampled
     window of the base stream so the class distribution ramps from the
     stream's natural prior to a target prior.
+:class:`OscillatingDrift`
+    Adversarial back-and-forth concept switching with shrinking periods,
+    so drift detectors face an accelerating alternation.
+:class:`SchemaShifter`
+    Feature schema evolution: scheduled columns appear/disappear mid-stream
+    (absent cells carry a fill value; NaN fills pair with
+    :func:`repro.utils.validation.check_features` ``allow_nan=True``).
+:class:`LabelDelayer`
+    Label-arrival lag metadata for delayed-label prequential evaluation
+    (rows pass through untouched).
+:class:`LabelMasker`
+    Label scarcity metadata: a seeded fraction of labels never arrives
+    (semi-supervised updates downstream).
 :class:`ScenarioPipeline`
     Composes a base stream with a list of transform layers under a name.
+
+The two label-realism transforms do not alter the data; they carry a
+per-row label-arrival schedule that :func:`label_realism` collects for the
+prequential evaluator.
 """
 
 from __future__ import annotations
@@ -54,6 +71,12 @@ __all__ = [
     "FeatureCorruptor",
     "LabelNoiser",
     "ImbalanceShifter",
+    "OscillatingDrift",
+    "SchemaShifter",
+    "LabelDelayer",
+    "LabelMasker",
+    "LabelRealism",
+    "label_realism",
     "ScenarioPipeline",
 ]
 
@@ -464,6 +487,290 @@ class ImbalanceShifter(StreamTransform):
             chosen[unused[:deficit]] = True
         selected = np.flatnonzero(chosen)[:count]
         return X_pool[selected], y_pool[selected], None
+
+
+class OscillatingDrift(StreamTransform):
+    """Adversarial back-and-forth concept alternation with shrinking periods.
+
+    The active concept flips between the base and the alternate stream at a
+    schedule of switch points that starts at stream fraction ``start`` with
+    an interval of ``period`` and shrinks by ``decay`` after every switch
+    (floored at ``min_period``), so the alternation *accelerates*: drift
+    detectors that reset on detection face the next switch ever sooner.
+    The schedule is a pure function of the parameters, so the transform is
+    chunk-invariant and needs no randomness.
+    """
+
+    #: Hard cap on the number of switch points (the ``min_period`` floor
+    #: bounds it anyway; this guards degenerate parameter combinations).
+    MAX_SWITCHES = 10_000
+
+    def __init__(
+        self,
+        stream: Stream,
+        alternate: Stream,
+        start: float = 0.25,
+        period: float = 0.1,
+        decay: float = 0.6,
+        min_period: float = 0.01,
+        n_samples: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if stream.n_features != alternate.n_features:
+            raise ValueError("Streams must have the same number of features.")
+        if stream.n_classes != alternate.n_classes:
+            raise ValueError("Streams must have the same number of classes.")
+        check_in_range(start, "start", 0.0, 1.0)
+        if period <= 0.0:
+            raise ValueError(f"period must be > 0, got {period!r}.")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay!r}.")
+        if min_period <= 0.0:
+            raise ValueError(f"min_period must be > 0, got {min_period!r}.")
+        super().__init__(stream, seed=seed, n_samples=n_samples)
+        self.alternate = alternate
+        self.start = float(start)
+        self.period = float(period)
+        self.decay = float(decay)
+        self.min_period = float(min_period)
+
+    def switch_fractions(self) -> np.ndarray:
+        """Switch points (stream fractions) of the alternation schedule."""
+        switches: list[float] = []
+        fraction = self.start
+        length = self.period
+        while fraction < 1.0 and len(switches) < self.MAX_SWITCHES:
+            switches.append(fraction)
+            fraction += length
+            length = max(length * self.decay, self.min_period)
+        return np.asarray(switches)
+
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
+        switches = self.switch_fractions()
+        fractions = _fractions(np.arange(start, start + count), self.n_samples)
+        passed = np.searchsorted(switches, fractions, side="right")
+        take_alternate = passed % 2 == 1
+        if not take_alternate.any():
+            X, y = wrapped_rows(self.stream, start, count)
+            return X, y, None
+        if take_alternate.all():
+            X, y = wrapped_rows(self.alternate, start, count)
+            return X, y, None
+        X_base, y_base = wrapped_rows(self.stream, start, count)
+        X_alt, y_alt = wrapped_rows(self.alternate, start, count)
+        X = np.where(take_alternate[:, None], X_alt, X_base)
+        y = np.where(take_alternate, y_alt, y_base)
+        return X, y, None
+
+
+class SchemaShifter(StreamTransform):
+    """Feature schema evolution: columns appear and disappear mid-stream.
+
+    ``schedule`` maps feature columns to their *presence window*: a
+    ``(feature, appear, disappear)`` triple keeps the column's values only
+    while the stream fraction lies in ``[appear, disappear)`` and replaces
+    them with ``fill_value`` elsewhere.  A column appearing mid-stream has
+    ``appear > 0``; one disappearing has ``disappear < 1``.
+
+    The physical width of the stream never changes (models see a fixed
+    ``n_features``); absent cells carry ``fill_value``.  The default fill is
+    ``0.0`` so every model in the family keeps working; pass ``float('nan')``
+    to mark absent cells explicitly for consumers with their own imputation
+    (validate such batches with
+    :func:`repro.utils.validation.check_features` ``allow_nan=True``).
+    """
+
+    def __init__(
+        self,
+        stream: Stream,
+        schedule: Sequence[tuple[int, float, float]],
+        fill_value: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(stream, seed=seed)
+        entries: list[tuple[int, float, float]] = []
+        for feature, appear, disappear in schedule:
+            feature = int(feature)
+            if not 0 <= feature < stream.n_features:
+                raise ValueError(
+                    f"schedule feature {feature} outside the "
+                    f"{stream.n_features} features."
+                )
+            check_in_range(appear, "appear", 0.0, 1.0)
+            check_in_range(disappear, "disappear", 0.0, 1.0)
+            if disappear < appear:
+                raise ValueError(
+                    f"disappear must be >= appear, got ({appear!r}, {disappear!r})."
+                )
+            entries.append((feature, float(appear), float(disappear)))
+        if len({feature for feature, _, _ in entries}) != len(entries):
+            raise ValueError("schedule lists a feature more than once.")
+        self.schedule = tuple(entries)
+        self.fill_value = float(fill_value)
+
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
+        X, y = self._source(start, count)
+        copied = False
+        for feature, appear, disappear in self.schedule:
+            present = self._window_mask(start, count, appear, disappear)
+            if present is True:
+                continue
+            if not copied:
+                X = X.copy()  # the source rows may alias the wrapped cache
+                copied = True
+            if present is False:
+                X[:, feature] = self.fill_value
+            else:
+                X[~present, feature] = self.fill_value
+        return X, y, None
+
+
+class LabelDelayer(StreamTransform):
+    """Delayed-label metadata: every label arrives ``delay`` rows late.
+
+    The rows themselves pass through untouched -- the transform only carries
+    the arrival schedule, which :func:`label_realism` exposes to the
+    prequential evaluator: the label of row ``i`` becomes available once the
+    evaluator has consumed row ``i + delay`` (prequential with
+    label-arrival lag); predictions are still made at test time.
+    """
+
+    def __init__(
+        self, stream: Stream, delay: int, seed: int | None = None
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}.")
+        super().__init__(stream, seed=seed)
+        self.delay = int(delay)
+
+    def label_arrival(self, start: int, count: int) -> np.ndarray:
+        """Stream index at which each row's label becomes available."""
+        return np.arange(start, start + count, dtype=np.int64) + self.delay
+
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
+        X, y = self._source(start, count)
+        return X, y, None
+
+
+class LabelMasker(StreamTransform):
+    """Label-scarcity metadata: a seeded fraction of labels never arrives.
+
+    Inside the window ``[start, end)`` (stream fractions) each row's label
+    is withheld independently with probability ``rate``; the availability
+    mask is drawn block-wise from the counter-based stream RNG, so it is a
+    pure function of the row index (chunk-invariant and identical after a
+    restart or a persistence round-trip).  Rows pass through untouched --
+    the evaluator scores and trains only on rows whose label arrives
+    (semi-supervised updates).
+    """
+
+    def __init__(
+        self,
+        stream: Stream,
+        rate: float = 0.5,
+        start: float = 0.0,
+        end: float = 1.0,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(stream, seed=seed)
+        check_in_range(rate, "rate", 0.0, 1.0)
+        check_in_range(start, "start", 0.0, 1.0)
+        check_in_range(end, "end", 0.0, 1.0)
+        if end < start:
+            raise ValueError(f"end must be >= start, got ({start!r}, {end!r}).")
+        self.rate = float(rate)
+        self.start = float(start)
+        self.end = float(end)
+
+    def label_available(self, start: int, count: int) -> np.ndarray:
+        """Availability mask of rows ``[start, start + count)``.
+
+        Draws are made for whole blocks (and sliced to the request) so any
+        consumption schedule sees the bit-identical mask.
+        """
+        available = np.ones(count, dtype=bool)
+        if self.rate == 0.0 or count <= 0:
+            return available
+        size = self.block_size
+        first, last = start // size, (start + count - 1) // size
+        for block in range(first, last + 1):
+            block_start = block * size
+            block_count = self._block_row_count(block)
+            withheld = self.block_rng(block).random(block_count) < self.rate
+            lo = max(start - block_start, 0)
+            hi = min(start + count - block_start, block_count)
+            out_lo = block_start + lo - start
+            available[out_lo : out_lo + (hi - lo)] = ~withheld[lo:hi]
+        window = self._window_mask(start, count, self.start, self.end)
+        if window is False:
+            return np.ones(count, dtype=bool)
+        if window is not True:
+            available |= ~window
+        return available
+
+    def _generate_block(
+        self, rng: np.random.Generator, start: int, count: int, state: object
+    ) -> tuple[np.ndarray, np.ndarray, object]:
+        X, y = self._source(start, count)
+        return X, y, None
+
+
+class LabelRealism:
+    """Combined label-arrival schedule of a stream's transform stack.
+
+    Collected by :func:`label_realism`; consumed by the prequential
+    evaluator.  ``delay`` is the total label-arrival lag (rows) and
+    ``available`` the conjunction of every masker's availability mask.
+    """
+
+    def __init__(
+        self, delay: int = 0, maskers: Sequence[LabelMasker] = ()
+    ) -> None:
+        self.delay = int(delay)
+        self.maskers = tuple(maskers)
+
+    @property
+    def active(self) -> bool:
+        return self.delay > 0 or bool(self.maskers)
+
+    def arrival(self, start: int, count: int) -> np.ndarray:
+        """Stream index at which each row's label becomes available."""
+        return np.arange(start, start + count, dtype=np.int64) + self.delay
+
+    def available(self, start: int, count: int) -> np.ndarray:
+        """Mask of rows whose label ever arrives."""
+        available = np.ones(count, dtype=bool)
+        for masker in self.maskers:
+            available &= masker.label_available(start, count)
+        return available
+
+
+def label_realism(stream: object) -> LabelRealism:
+    """Collect the label-arrival schedule from a stream's wrapper stack.
+
+    Walks through :class:`~repro.streams.preprocessing.NormalizedStream`,
+    :class:`ScenarioPipeline` and :class:`StreamTransform` wrappers, summing
+    :class:`LabelDelayer` delays and conjoining :class:`LabelMasker` masks.
+    Label-realism transforms must sit above any row-reordering transform
+    (e.g. :class:`ImbalanceShifter`), which is how the scenario grammar
+    composes them; their row indices then coincide with the output stream's.
+    """
+    delay = 0
+    maskers: list[LabelMasker] = []
+    current = stream
+    while current is not None:
+        if isinstance(current, LabelDelayer):
+            delay += current.delay
+        elif isinstance(current, LabelMasker):
+            maskers.append(current)
+        current = getattr(current, "stream", None)
+    return LabelRealism(delay=delay, maskers=maskers)
 
 
 class ScenarioPipeline(Stream):

@@ -46,6 +46,8 @@ from repro.telemetry.events import (
     ENSEMBLE_MEMBER_DRIFT,
     EVALUATION_COMPLETED,
     GRID_CELL_COMPLETED,
+    LABEL_DELAYED_FLUSH,
+    SCENARIO_SAMPLED,
     SERVING_DRIFT,
     SERVING_HOT_SWAP,
     SERVING_PROMOTION,
@@ -165,4 +167,6 @@ __all__ = [
     "SERVING_DRIFT",
     "GRID_CELL_COMPLETED",
     "EVALUATION_COMPLETED",
+    "SCENARIO_SAMPLED",
+    "LABEL_DELAYED_FLUSH",
 ]

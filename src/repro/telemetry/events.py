@@ -55,6 +55,10 @@ SERVING_DRIFT = "serving.drift"
 GRID_CELL_COMPLETED = "grid.cell_completed"
 #: One prequential evaluation run finished.
 EVALUATION_COMPLETED = "evaluation.completed"
+#: The scenario grammar sampled one program.
+SCENARIO_SAMPLED = "scenario.sampled"
+#: The prequential evaluator flushed late-arriving labels into training.
+LABEL_DELAYED_FLUSH = "label.delayed_flush"
 
 #: Required fields per known kind (``seq``/``ts``/``kind`` are implicit).
 SCHEMAS: dict[str, frozenset] = {
@@ -73,6 +77,8 @@ SCHEMAS: dict[str, frozenset] = {
     SERVING_DRIFT: frozenset({"name"}),
     GRID_CELL_COMPLETED: frozenset({"model", "dataset", "elapsed_seconds"}),
     EVALUATION_COMPLETED: frozenset({"model", "dataset", "n_iterations"}),
+    SCENARIO_SAMPLED: frozenset({"name", "base", "n_layers"}),
+    LABEL_DELAYED_FLUSH: frozenset({"n_flushed", "n_pending"}),
 }
 
 _RESERVED = frozenset({"kind", "seq", "ts"})

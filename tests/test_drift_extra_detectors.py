@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.drift import EDDM, KSWIN
 from repro.drift.kswin import _ks_statistic
@@ -132,3 +134,88 @@ class TestEDDM:
         detector.reset()
         assert detector.n_observations == 0
         assert not detector.in_drift
+
+
+class TestKSWINUpdateMany:
+    """The vectorized path must be bit-identical to scalar updates."""
+
+    @staticmethod
+    def _signal(seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(300, 1500))
+        shift = int(rng.integers(100, n - 50))
+        return np.concatenate(
+            [
+                rng.normal(0.0, 1.0, shift),
+                rng.normal(rng.uniform(1.5, 4.0), 1.0, n - shift),
+            ]
+        )
+
+    @staticmethod
+    def _drive_many(detector, values, schedule):
+        """Feed ``values`` through update_many in ``schedule``-sized chunks."""
+        drifts = []
+        start = 0
+        step = 0
+        while start < len(values):
+            size = schedule[step % len(schedule)]
+            step += 1
+            chunk = values[start : start + size]
+            offset = 0
+            while offset < len(chunk):
+                index = detector.update_many(chunk[offset:])
+                if index is None:
+                    break
+                drifts.append(start + offset + index)
+                offset += index + 1
+            start += len(chunk)
+        return drifts
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        schedule=st.lists(st.integers(1, 400), min_size=1, max_size=6),
+    )
+    def test_drift_indices_match_scalar_loop_for_any_schedule(
+        self, seed, schedule
+    ):
+        values = self._signal(seed)
+        scalar = KSWIN(alpha=0.01, window_size=60, stat_size=20, seed=3)
+        batched = KSWIN(alpha=0.01, window_size=60, stat_size=20, seed=3)
+        scalar_drifts = [
+            index
+            for index, value in enumerate(values.tolist())
+            if scalar.update(value)
+        ]
+        batched_drifts = self._drive_many(batched, values, schedule)
+        assert batched_drifts == scalar_drifts
+        assert batched.n_observations == scalar.n_observations
+        assert batched.in_drift == scalar.in_drift
+        assert batched._window == scalar._window
+
+    def test_bulk_prefill_skips_no_tests(self):
+        """While the window is short, no KS test (and no RNG draw) runs."""
+        detector = KSWIN(window_size=50, stat_size=10, seed=1)
+        assert detector.update_many(np.zeros(49)) is None
+        assert detector.n_observations == 49
+        assert len(detector._window) == 49
+        reference = KSWIN(window_size=50, stat_size=10, seed=1)
+        for _ in range(49):
+            reference.update(0.0)
+        assert detector._window == reference._window
+        # The next value fills the window and triggers the first test: both
+        # paths must draw the sub-sample from the same generator state.
+        index = detector.update_many(np.ones(1))
+        drifted = reference.update(1.0)
+        assert (index == 0) == drifted
+        assert detector.in_drift == reference.in_drift
+        assert detector._window == reference._window
+
+    def test_detects_shift_and_reports_first_index(self):
+        values = self._signal(99)
+        detector = KSWIN(alpha=0.01, window_size=60, stat_size=20, seed=3)
+        index = detector.update_many(values)
+        assert index is not None
+        assert detector.in_drift
+        # State stops exactly at the drift: only values[:index + 1] consumed.
+        assert detector.n_observations == index + 1

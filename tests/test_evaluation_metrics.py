@@ -9,7 +9,10 @@ from repro.evaluation.complexity import sliding_window_aggregate, summarize_trac
 from repro.evaluation.metrics import (
     ConfusionMatrix,
     accuracy_score,
+    cohen_kappa_score,
     f1_score,
+    kappa_m_score,
+    kappa_temporal_score,
     precision_score,
     recall_score,
 )
@@ -231,3 +234,156 @@ class TestTraceAggregation:
             assert stds[index] == pytest.approx(chunk.std(), rel=1e-9)
             assert stds[index] > 0.2
             assert means[index] == pytest.approx(chunk.mean(), rel=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Kappa differential tests: brute-force references vs the vectorised metrics
+# ---------------------------------------------------------------------------
+def _kappa_reference(y_true, y_pred):
+    """Cohen's kappa from first principles (per-class frequency products)."""
+    n = len(y_true)
+    if n == 0:
+        return 0.0
+    observed = sum(t == p for t, p in zip(y_true, y_pred)) / n
+    labels = set(y_true) | set(y_pred)
+    expected = sum(
+        (list(y_true).count(label) / n) * (list(y_pred).count(label) / n)
+        for label in labels
+    )
+    if expected >= 1.0:
+        return 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def _kappa_m_reference(y_true, y_pred):
+    """Kappa-M from first principles (majority-class baseline accuracy)."""
+    n = len(y_true)
+    if n == 0:
+        return 0.0
+    observed = sum(t == p for t, p in zip(y_true, y_pred)) / n
+    majority = max(list(y_true).count(label) for label in set(y_true)) / n
+    if majority >= 1.0:
+        return 0.0
+    return (observed - majority) / (1.0 - majority)
+
+
+def _kappa_temporal_reference(y_true, y_pred, last_label=None):
+    """Kappa-temporal from first principles (no-change baseline accuracy)."""
+    n = len(y_true)
+    if n == 0:
+        return 0.0
+    observed = sum(t == p for t, p in zip(y_true, y_pred)) / n
+    previous = [last_label] + list(y_true[:-1])
+    reference = sum(
+        prev is not None and t == prev for t, prev in zip(y_true, previous)
+    ) / n
+    if reference >= 1.0:
+        return 0.0
+    return (observed - reference) / (1.0 - reference)
+
+
+labelled_pairs = st.integers(1, 60).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+class TestKappaMetrics:
+    @given(pair=labelled_pairs)
+    @settings(max_examples=120, deadline=None)
+    def test_cohen_kappa_matches_brute_force(self, pair):
+        y_true, y_pred = pair
+        assert cohen_kappa_score(y_true, y_pred) == pytest.approx(
+            _kappa_reference(y_true, y_pred), abs=1e-12
+        )
+
+    @given(pair=labelled_pairs)
+    @settings(max_examples=120, deadline=None)
+    def test_kappa_m_matches_brute_force(self, pair):
+        y_true, y_pred = pair
+        assert kappa_m_score(y_true, y_pred) == pytest.approx(
+            _kappa_m_reference(y_true, y_pred), abs=1e-12
+        )
+
+    @given(
+        pair=labelled_pairs,
+        last_label=st.one_of(st.none(), st.integers(0, 4)),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_kappa_temporal_matches_brute_force(self, pair, last_label):
+        y_true, y_pred = pair
+        assert kappa_temporal_score(
+            y_true, y_pred, last_label=last_label
+        ) == pytest.approx(
+            _kappa_temporal_reference(y_true, y_pred, last_label), abs=1e-12
+        )
+
+    @given(pair=labelled_pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_kappas_are_bounded_above_by_one(self, pair):
+        y_true, y_pred = pair
+        assert cohen_kappa_score(y_true, y_pred) <= 1.0
+        assert kappa_m_score(y_true, y_pred) <= 1.0
+        assert kappa_temporal_score(y_true, y_pred) <= 1.0
+
+    def test_perfect_agreement_scores_one(self):
+        y = [0, 1, 2, 0, 1, 2, 2, 0]
+        assert cohen_kappa_score(y, y) == pytest.approx(1.0)
+        assert kappa_m_score(y, y) == pytest.approx(1.0)
+        assert kappa_temporal_score(y, y) == pytest.approx(1.0)
+
+    def test_single_class_windows_are_degenerate(self):
+        # A window where only one class was ever observed: the chance and
+        # majority baselines are already perfect, so those kappas collapse
+        # to the 0.0 sentinel.
+        y = [1, 1, 1, 1]
+        assert cohen_kappa_score(y, y) == 0.0
+        assert kappa_m_score(y, y) == 0.0
+        # The no-change baseline only becomes perfect once the preceding
+        # label is known (without it, the first row counts as a miss).
+        assert kappa_temporal_score(y, y, last_label=1) == 0.0
+        assert kappa_temporal_score(y, y) == pytest.approx(1.0)
+        # ... even when the classifier is wrong: the denominators stay
+        # degenerate, so the sentinel still applies.
+        wrong = [1, 1, 0, 1]
+        assert kappa_m_score(y, wrong) == 0.0
+        assert kappa_temporal_score(y, wrong, last_label=1) == 0.0
+
+    def test_empty_windows_score_zero(self):
+        assert cohen_kappa_score([], []) == 0.0
+        assert kappa_m_score([], []) == 0.0
+        assert kappa_temporal_score([], []) == 0.0
+        empty = ConfusionMatrix([0, 1])
+        assert empty.kappa() == 0.0
+        assert empty.kappa_m() == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kappa_temporal_score([0, 1], [0])
+
+    def test_last_label_threads_across_batches(self):
+        # Splitting a window into batches and carrying the previous batch's
+        # final true label reproduces the single-window no-change baseline.
+        y_true = [0, 0, 1, 1, 1, 2, 2, 0, 0, 0]
+        y_pred = [0, 1, 1, 1, 2, 2, 2, 0, 1, 0]
+        whole = kappa_temporal_score(y_true, y_pred)
+        assert whole == pytest.approx(
+            _kappa_temporal_reference(y_true, y_pred, None)
+        )
+        tail = kappa_temporal_score(
+            y_true[5:], y_pred[5:], last_label=y_true[4]
+        )
+        assert tail == pytest.approx(
+            _kappa_temporal_reference(y_true[5:], y_pred[5:], y_true[4])
+        )
+
+    def test_confusion_matrix_kappa_matches_functional_form(self):
+        rng = np.random.default_rng(9)
+        y_true = rng.integers(0, 3, size=200)
+        y_pred = rng.integers(0, 3, size=200)
+        matrix = ConfusionMatrix([0, 1, 2])
+        matrix.update(y_true, y_pred)
+        assert matrix.kappa() == pytest.approx(cohen_kappa_score(y_true, y_pred))
+        assert matrix.kappa_m() == pytest.approx(kappa_m_score(y_true, y_pred))

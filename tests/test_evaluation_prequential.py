@@ -5,9 +5,15 @@ import pytest
 
 from repro.base import ComplexityReport, StreamClassifier
 from repro.core.dmt import DynamicModelTree
-from repro.evaluation.prequential import PrequentialEvaluator, PrequentialResult
+from repro.evaluation.prequential import (
+    PrequentialEvaluator,
+    PrequentialResult,
+    PrequentialSession,
+)
+from repro.streams import LabelDelayer, LabelMasker, label_realism
 from repro.streams.base import ArrayStream
 from repro.streams.synthetic import SEAGenerator
+from repro.telemetry import LABEL_DELAYED_FLUSH, TELEMETRY
 
 
 class _CountingClassifier(StreamClassifier):
@@ -189,4 +195,112 @@ class TestPrequentialResult:
         assert clone.f1_trace == result.f1_trace
         np.testing.assert_array_equal(
             clone.overall_confusion.matrix, result.overall_confusion.matrix
+        )
+
+
+class TestLabelRealismEvaluation:
+    """Delayed and missing labels: buffering, flushing, resume."""
+
+    def test_zero_delay_reduces_to_the_plain_loop(self):
+        reference = PrequentialEvaluator(batch_size=40).evaluate(
+            DynamicModelTree(random_state=3),
+            SEAGenerator(n_samples=600, seed=5),
+            dataset_name="sea",
+        )
+        wrapped = PrequentialEvaluator(batch_size=40).evaluate(
+            DynamicModelTree(random_state=3),
+            LabelDelayer(SEAGenerator(n_samples=600, seed=5), delay=0),
+            dataset_name="sea",
+        )
+        assert wrapped.deterministic_summary() == reference.deterministic_summary()
+        assert wrapped.f1_trace == reference.f1_trace
+
+    def test_delayed_labels_defer_training_then_flush(self):
+        model = _CountingClassifier()
+        stream = LabelDelayer(_binary_stream(n=300), delay=50)
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            result = PrequentialEvaluator(batch_size=30).evaluate(model, stream)
+            flushes = TELEMETRY.events.records(LABEL_DELAYED_FLUSH)
+        finally:
+            TELEMETRY.reset()
+        # Every row eventually trains, exactly once.
+        assert result.n_trained_samples == 300
+        assert model.samples_seen == 300
+        # Rows whose labels were still in flight at the end of the stream
+        # (indices 251..299: arrival index+50 > 300) flush in one final fit.
+        assert len(flushes) == 1
+        assert flushes[0]["n_flushed"] == 49
+        assert flushes[0]["n_pending"] == 0
+
+    def test_delay_shifts_training_behind_the_batch(self):
+        model = _CountingClassifier()
+        evaluator = PrequentialEvaluator(batch_size=30)
+        session = evaluator.session(
+            model, LabelDelayer(_binary_stream(n=300), delay=45)
+        )
+        session.step()  # position 30, arrivals start at 45: nothing due yet
+        assert model.samples_seen == 0
+        assert len(session.pending_arrival) == 30
+        session.step()  # position 60: rows 0..15 are due (45 + 15 <= 60)
+        assert model.samples_seen == 16
+        assert len(session.pending_arrival) == 44
+
+    def test_fully_masked_stream_never_trains_or_scores(self):
+        model = _CountingClassifier()
+        stream = LabelMasker(
+            _binary_stream(n=300), rate=1.0, start=0.0, end=1.0, seed=11
+        )
+        result = PrequentialEvaluator(batch_size=30).evaluate(model, stream)
+        assert model.fit_calls == 0
+        assert result.n_trained_samples == 0
+        assert result.n_scored_samples == 0
+        assert result.n_samples == 300
+
+    def test_partial_mask_trains_exactly_the_available_rows(self):
+        stream = LabelMasker(
+            _binary_stream(n=300), rate=0.6, start=0.0, end=1.0, seed=11
+        )
+        available = label_realism(stream).available(0, 300)
+        assert 0 < available.sum() < 300
+        model = _CountingClassifier()
+        result = PrequentialEvaluator(batch_size=30).evaluate(model, stream)
+        assert result.n_trained_samples == int(available.sum())
+        assert model.samples_seen == int(available.sum())
+        # Scored batches exclude the warm-up batch and the masked rows.
+        assert result.n_scored_samples == int(available[30:].sum())
+
+    def test_resume_under_delayed_labels_is_bit_identical(self):
+        """A mid-run persistence round-trip (pending labels in flight)
+        finishes bit-identically to the uninterrupted run."""
+
+        def make_session():
+            stream = LabelMasker(
+                LabelDelayer(SEAGenerator(n_samples=600, seed=5), delay=70),
+                rate=0.8,
+                start=0.1,
+                end=0.9,
+                seed=13,
+            )
+            return PrequentialEvaluator(batch_size=40).session(
+                DynamicModelTree(random_state=3), stream
+            )
+
+        reference = make_session().run()
+
+        session = make_session()
+        for _ in range(7):
+            assert session.step()
+        assert len(session.pending_arrival) > 0  # labels genuinely in flight
+        clone = PrequentialSession.from_state(session.to_state())
+        np.testing.assert_array_equal(
+            clone.pending_arrival, session.pending_arrival
+        )
+        resumed = clone.run()
+        assert resumed.deterministic_summary() == reference.deterministic_summary()
+        assert resumed.f1_trace == reference.f1_trace
+        assert resumed.kappa_temporal_trace == reference.kappa_temporal_trace
+        np.testing.assert_array_equal(
+            resumed.overall_confusion.matrix, reference.overall_confusion.matrix
         )

@@ -27,11 +27,15 @@ from repro.streams import (
     HyperplaneGenerator,
     ImbalanceShifter,
     LEDGenerator,
+    LabelDelayer,
+    LabelMasker,
     LabelNoiser,
     MixedGenerator,
+    OscillatingDrift,
     RandomRBFGenerator,
     SEAGenerator,
     ScenarioPipeline,
+    SchemaShifter,
     SineGenerator,
     STAGGERGenerator,
     WaveformGenerator,
@@ -114,6 +118,17 @@ STREAM_FACTORIES = {
     ),
     "imbalance_shifter": lambda seed: ImbalanceShifter(
         _sea(seed), class_weights=(0.9, 0.1), start=0.2, end=0.8, oversample=1.5
+    ),
+    "oscillating_drift": lambda seed: OscillatingDrift(
+        *_sea_pair(seed), start=0.2, period=0.15, decay=0.6, min_period=0.02
+    ),
+    "schema_shifter": lambda seed: SchemaShifter(
+        _sea(seed), schedule=((0, 0.25, 0.9), (2, 0.0, 0.5)), fill_value=0.0
+    ),
+    "label_delayer": lambda seed: LabelDelayer(_sea(seed), delay=50),
+    "label_masker": lambda seed: LabelMasker(
+        _sea(seed), rate=0.4, start=0.1, end=0.9,
+        seed=None if seed is None else seed + 7,
     ),
     "pipeline": lambda seed: ScenarioPipeline(
         DriftInjector(*_sea_pair(seed), mode="gradual", seed=seed),

@@ -25,9 +25,14 @@ from repro.streams import (
     FeatureCorruptor,
     HyperplaneGenerator,
     ImbalanceShifter,
+    LabelDelayer,
+    LabelMasker,
     LabelNoiser,
+    OscillatingDrift,
     ScenarioPipeline,
+    SchemaShifter,
     SEAGenerator,
+    label_realism,
 )
 
 N = 2_000
@@ -389,3 +394,204 @@ class TestScenarioCLI:
         output = capsys.readouterr().out
         assert f"{len(scenario_names())} cells finished" in output
         assert len(ResultStore(tmp_path)) == len(scenario_names())
+
+
+class TestOscillatingDrift:
+    def _pair(self):
+        return _sea(seed=1, concept=0), _sea(seed=1, concept=2)
+
+    def test_mismatched_streams_raise(self):
+        narrow = HyperplaneGenerator(n_samples=N, n_features=5, seed=1)
+        with pytest.raises(ValueError, match="features"):
+            OscillatingDrift(_sea(), narrow)
+
+    def test_invalid_parameters_raise(self):
+        base, alternate = self._pair()
+        with pytest.raises(ValueError, match="period"):
+            OscillatingDrift(base, alternate, period=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            OscillatingDrift(base, alternate, decay=0.0)
+        with pytest.raises(ValueError, match="min_period"):
+            OscillatingDrift(base, alternate, min_period=-0.1)
+
+    def test_alternation_follows_the_switch_schedule(self):
+        base, alternate = self._pair()
+        stream = OscillatingDrift(
+            base, alternate, start=0.25, period=0.25, decay=1.0
+        )
+        X, y = stream.take()
+        X_base, y_base = _sea(seed=1, concept=0).take()
+        X_alt, y_alt = _sea(seed=1, concept=2).take()
+        switches = stream.switch_fractions()
+        np.testing.assert_array_equal(switches, [0.25, 0.5, 0.75])
+        quarter = N // 4
+        np.testing.assert_array_equal(X, X_base)  # same seed: X is shared
+        np.testing.assert_array_equal(y[:quarter], y_base[:quarter])
+        np.testing.assert_array_equal(y[quarter : 2 * quarter], y_alt[quarter : 2 * quarter])
+        np.testing.assert_array_equal(y[2 * quarter : 3 * quarter], y_base[2 * quarter : 3 * quarter])
+        np.testing.assert_array_equal(y[3 * quarter :], y_alt[3 * quarter :])
+
+    def test_alternation_accelerates(self):
+        base, alternate = self._pair()
+        stream = OscillatingDrift(
+            base, alternate, start=0.2, period=0.2, decay=0.5, min_period=0.02
+        )
+        gaps = np.diff(stream.switch_fractions())
+        assert (np.diff(gaps) <= 1e-12).all()  # shrinking intervals
+        assert gaps.min() >= 0.02 - 1e-12  # floored at min_period
+
+    def test_decay_one_keeps_a_fixed_period(self):
+        base, alternate = self._pair()
+        stream = OscillatingDrift(
+            base, alternate, start=0.1, period=0.3, decay=1.0
+        )
+        gaps = np.diff(stream.switch_fractions())
+        np.testing.assert_allclose(gaps, 0.3)
+
+
+class TestSchemaShifter:
+    def test_invalid_schedule_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            SchemaShifter(_sea(), schedule=[(7, 0.0, 1.0)])
+        with pytest.raises(ValueError, match="disappear"):
+            SchemaShifter(_sea(), schedule=[(0, 0.5, 0.2)])
+        with pytest.raises(ValueError, match="more than once"):
+            SchemaShifter(_sea(), schedule=[(0, 0.0, 0.5), (0, 0.5, 1.0)])
+
+    def test_presence_window_controls_the_column(self):
+        stream = SchemaShifter(
+            _sea(), schedule=[(1, 0.25, 0.75)], fill_value=-1.0
+        )
+        X, y = stream.take()
+        X_raw, y_raw = _sea().take()
+        lo, hi = N // 4, 3 * N // 4
+        assert (X[:lo, 1] == -1.0).all()  # before appearing
+        np.testing.assert_array_equal(X[lo:hi, 1], X_raw[lo:hi, 1])  # present
+        assert (X[hi:, 1] == -1.0).all()  # after disappearing
+        # Untouched columns and labels pass through bit-identically.
+        np.testing.assert_array_equal(X[:, [0, 2]], X_raw[:, [0, 2]])
+        np.testing.assert_array_equal(y, y_raw)
+
+    def test_nan_fill_marks_absent_cells(self):
+        stream = SchemaShifter(
+            _sea(), schedule=[(0, 0.5, 1.0)], fill_value=float("nan")
+        )
+        X, _ = stream.take()
+        assert np.isnan(X[: N // 2, 0]).all()
+        assert not np.isnan(X[N // 2 :, 0]).any()
+
+    def test_shape_and_metadata_are_preserved(self):
+        stream = SchemaShifter(_sea(), schedule=[(2, 0.3, 0.6)])
+        assert stream.n_features == 3
+        X, y = stream.next_sample(100)
+        assert X.shape == (100, 3)
+
+
+class TestLabelDelayer:
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            LabelDelayer(_sea(), delay=-1)
+
+    def test_data_passes_through_unchanged(self):
+        stream = LabelDelayer(_sea(), delay=100)
+        X, y = stream.take()
+        X_raw, y_raw = _sea().take()
+        np.testing.assert_array_equal(X, X_raw)
+        np.testing.assert_array_equal(y, y_raw)
+
+    def test_label_arrival_is_shifted_by_the_delay(self):
+        stream = LabelDelayer(_sea(), delay=25)
+        arrival = stream.label_arrival(10, 5)
+        np.testing.assert_array_equal(arrival, [35, 36, 37, 38, 39])
+
+
+class TestLabelMasker:
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            LabelMasker(_sea(), rate=1.5)
+        with pytest.raises(ValueError, match="end"):
+            LabelMasker(_sea(), rate=0.5, start=0.8, end=0.2)
+
+    def test_rate_zero_keeps_every_label(self):
+        stream = LabelMasker(_sea(), rate=0.0, seed=3)
+        assert stream.label_available(0, N).all()
+
+    def test_rate_one_masks_exactly_the_window(self):
+        stream = LabelMasker(_sea(), rate=1.0, start=0.25, end=0.75, seed=3)
+        available = stream.label_available(0, N)
+        lo, hi = N // 4, 3 * N // 4
+        assert not available[lo:hi].any()
+        assert available[:lo].all()
+        assert available[hi:].all()
+
+    def test_mask_rate_is_roughly_respected(self):
+        stream = LabelMasker(_sea(), rate=0.3, seed=3)
+        available = stream.label_available(0, N)
+        assert 0.6 < available.mean() < 0.8
+
+    def test_mask_is_chunk_invariant(self):
+        stream = LabelMasker(_sea(), rate=0.4, seed=3)
+        full = stream.label_available(0, N)
+        pieces = np.concatenate(
+            [stream.label_available(0, 700), stream.label_available(700, N - 700)]
+        )
+        np.testing.assert_array_equal(full, pieces)
+
+    def test_data_passes_through_unchanged(self):
+        stream = LabelMasker(_sea(), rate=0.9, seed=3)
+        X, y = stream.take()
+        X_raw, y_raw = _sea().take()
+        np.testing.assert_array_equal(X, X_raw)
+        np.testing.assert_array_equal(y, y_raw)
+
+
+class TestLabelRealism:
+    def test_plain_stream_is_inactive(self):
+        realism = label_realism(_sea())
+        assert not realism.active
+        assert realism.delay == 0
+        assert realism.maskers == ()
+        np.testing.assert_array_equal(realism.arrival(5, 3), [5, 6, 7])
+        assert realism.available(0, 50).all()
+
+    def test_nested_wrappers_accumulate(self):
+        stream = LabelMasker(
+            LabelDelayer(LabelDelayer(_sea(), delay=10), delay=5),
+            rate=1.0,
+            start=0.0,
+            end=0.5,
+            seed=3,
+        )
+        realism = label_realism(stream)
+        assert realism.active
+        assert realism.delay == 15
+        assert len(realism.maskers) == 1
+        np.testing.assert_array_equal(realism.arrival(0, 3), [15, 16, 17])
+        available = realism.available(0, N)
+        assert not available[: N // 2].any()
+        assert available[N // 2 :].all()
+
+    def test_multiple_maskers_intersect(self):
+        stream = LabelMasker(
+            LabelMasker(_sea(), rate=1.0, start=0.0, end=0.4, seed=1),
+            rate=1.0,
+            start=0.6,
+            end=1.0,
+            seed=2,
+        )
+        available = label_realism(stream).available(0, N)
+        assert not available[: int(0.4 * N)].any()
+        assert available[int(0.4 * N) : int(0.6 * N)].all()
+        assert not available[int(0.6 * N) :].any()
+
+    def test_realism_survives_a_persistence_round_trip(self):
+        from repro.persistence import from_state, to_state
+
+        stream = LabelMasker(LabelDelayer(_sea(), delay=40), rate=0.5, seed=9)
+        clone = from_state(to_state(stream))
+        original = label_realism(stream)
+        restored = label_realism(clone)
+        assert restored.delay == original.delay
+        np.testing.assert_array_equal(
+            restored.available(0, N), original.available(0, N)
+        )
