@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
 from repro.analysis.driver import all_rules, default_root, discover, run
 from repro.analysis.inventory_gen import write_inventory
+from repro.analysis.manifest_gen import write_manifest
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="regenerate repro/analysis/inventory.py from the tree and exit 0",
     )
     parser.add_argument(
+        "--regen-manifest",
+        action="store_true",
+        help="regenerate kernel_manifest.json (certified-pure kernels) "
+        "at the repo root and exit 0",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit 0",
@@ -73,6 +80,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.regen_inventory:
         path = write_inventory(project)
         print(f"inventory written to {path}")
+        return 0
+
+    if args.regen_manifest:
+        path = write_manifest(project)
+        print(f"kernel manifest written to {path}")
         return 0
 
     baseline_path = (

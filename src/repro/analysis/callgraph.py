@@ -1,0 +1,441 @@
+"""Project-wide call graph: who calls whom, across files and classes.
+
+The graph is the address book of the interprocedural layer
+(:mod:`repro.analysis.dataflow` and the LCK/PUR/CPY checkers): every
+function and method in the tree becomes a :class:`FunctionInfo` node, and
+every call expression inside it is resolved -- where statically possible --
+to the qualified names it may reach.
+
+Resolution reuses the machinery the per-module checkers already trust:
+
+* ``ModuleInfo.import_table()`` for direct and aliased imports
+  (``from repro.persistence import save_model as sm``),
+* the package ``__init__`` re-export map of the persistence checker, so
+  ``repro.telemetry.TELEMETRY`` canonicalises to its defining module,
+* the class graph of :mod:`repro.analysis.checkers.persistence` for
+  hierarchy-aware method dispatch: ``self.m()`` / ``cls.m()`` resolve
+  through the MRO, and calls that land on a method overridden below the
+  static class also fan out to the overriding implementations.
+
+Two deliberately bounded extras make the serving/telemetry stack
+resolvable without real type inference:
+
+* **module-level singletons** -- ``TELEMETRY = Telemetry()`` maps the
+  constant to its class, so ``TELEMETRY.counter(...)`` dispatches into
+  :class:`~repro.telemetry.runtime.Telemetry`;
+* **constructor-typed attributes** -- ``self.registry = ModelRegistry()``
+  (or a parameter annotated ``ModelRegistry``) maps the attribute to a
+  class, so ``self.registry.get(...)`` dispatches into the registry.
+
+Everything else (``model.predict(...)`` on an arbitrary object, values
+from containers, ``getattr`` dispatch) is recorded as an *unresolved* call
+with its raw attribute name, so downstream analyses can stay explicitly
+optimistic or pessimistic about it.  All tables are plain dicts keyed by
+qualified names; consumers iterate them in sorted order, which keeps the
+whole layer byte-deterministic under module-order shuffling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import ModuleInfo, Project, resolve_dotted
+from repro.analysis.checkers.persistence import (
+    ClassInfo,
+    _ancestors,
+    _canonical,
+    _reexport_map,
+    build_class_graph,
+)
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the scanned tree."""
+
+    qualname: str  #: ``repro.serving.service.ScoringService._score``
+    module: ModuleInfo
+    node: FunctionNode
+    cls: str | None  #: owning class qualname, ``None`` for module functions
+    name: str  #: bare definition name, e.g. ``_score``
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function, with its resolved targets."""
+
+    node: ast.Call
+    #: Qualified names of the in-tree functions the call may reach
+    #: (several under virtual dispatch), sorted; empty when unresolved.
+    targets: tuple[str, ...]
+    #: Raw callee spelling: the attribute name of a method call
+    #: (``partial_fit``), or the dotted resolution of a direct call
+    #: (``numpy.asarray``, ``open``).  Always present.
+    raw: str
+    #: Whether the receiver is ``self``/``cls`` (intra-class dispatch).
+    on_self: bool
+
+
+def _first_param(node: FunctionNode) -> str | None:
+    args = node.args.posonlyargs + node.args.args
+    return args[0].arg if args else None
+
+
+def _annotation_classes(annotation: ast.expr | None) -> list[str]:
+    """Plain class names inside an annotation (``C``, ``C | None``)."""
+    if annotation is None:
+        return []
+    names: list[str] = []
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id != "None":
+            names.append(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotation: a bare class name is the common case.
+            if node.value.isidentifier():
+                names.append(node.value)
+    return names
+
+
+class CallGraph:
+    """Resolved call structure of one :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.class_graph: dict[str, ClassInfo] = build_class_graph(project)
+        self.reexports: dict[str, str] = _reexport_map(project)
+        #: function qualname -> definition record
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class qualname -> method name -> defining function qualname (MRO)
+        self.method_table: dict[str, dict[str, str]] = {}
+        #: class qualname -> sorted transitive subclass qualnames
+        self.subclasses: dict[str, tuple[str, ...]] = {}
+        #: module-level ``NAME = ClassName()`` singletons, canonical names
+        self.singletons: dict[str, str] = {}
+        #: (class qualname, attr) -> class qualname of the attribute value
+        self.attr_types: dict[tuple[str, str], str] = {}
+        #: function qualname -> call sites in source order
+        self.calls: dict[str, tuple[CallSite, ...]] = {}
+        self._tables: dict[str, dict[str, str]] = {}
+        self._index_functions()
+        self._index_hierarchy()
+        self._index_singletons()
+        self._index_attr_types()
+        for qualname in sorted(self.functions):
+            self.calls[qualname] = self._resolve_calls(self.functions[qualname])
+
+    def table_of(self, module: ModuleInfo) -> dict[str, str]:
+        """Memoized ``module.import_table()`` (it walks the whole AST)."""
+        table = self._tables.get(module.rel)
+        if table is None:
+            table = module.import_table()
+            self._tables[module.rel] = table
+        return table
+
+    # ------------------------------------------------------------- indexing
+    def _index_functions(self) -> None:
+        for module in self.project.modules:
+            for stmt in module.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qualname = f"{module.dotted}.{stmt.name}"
+                    self.functions[qualname] = FunctionInfo(
+                        qualname=qualname,
+                        module=module,
+                        node=stmt,
+                        cls=None,
+                        name=stmt.name,
+                    )
+                elif isinstance(stmt, ast.ClassDef):
+                    cls_qualname = f"{module.dotted}.{stmt.name}"
+                    for item in stmt.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            qualname = f"{cls_qualname}.{item.name}"
+                            self.functions[qualname] = FunctionInfo(
+                                qualname=qualname,
+                                module=module,
+                                node=item,
+                                cls=cls_qualname,
+                                name=item.name,
+                            )
+
+    def _index_hierarchy(self) -> None:
+        children: dict[str, set[str]] = {}
+        for qualname in self.class_graph:
+            for base in _ancestors(qualname, self.class_graph):
+                base = _canonical(base, self.reexports)
+                children.setdefault(base, set()).add(qualname)
+        self.subclasses = {
+            base: tuple(sorted(subs)) for base, subs in children.items()
+        }
+        for qualname in self.class_graph:
+            table: dict[str, str] = {}
+            mro = [qualname] + [
+                _canonical(base, self.reexports)
+                for base in _ancestors(qualname, self.class_graph)
+            ]
+            for cls in mro:
+                info = self.class_graph.get(cls)
+                if info is None:
+                    continue
+                for method in info.methods:
+                    table.setdefault(method, f"{cls}.{method}")
+            self.method_table[qualname] = table
+
+    def _index_singletons(self) -> None:
+        for module in self.project.modules:
+            table = self.table_of(module)
+            local_classes = {
+                stmt.name
+                for stmt in module.tree.body
+                if isinstance(stmt, ast.ClassDef)
+            }
+            for stmt in module.tree.body:
+                if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                    continue
+                target = stmt.targets[0]
+                if not (
+                    isinstance(target, ast.Name)
+                    and isinstance(stmt.value, ast.Call)
+                ):
+                    continue
+                cls = self._class_of_expr(
+                    stmt.value.func, table, module, local_classes
+                )
+                if cls is not None:
+                    self.singletons[f"{module.dotted}.{target.id}"] = cls
+
+    def _index_attr_types(self) -> None:
+        """``self.<attr> = ClassName(...)`` (or an annotated parameter)."""
+        for cls_qualname in sorted(self.class_graph):
+            info = self.class_graph[cls_qualname]
+            module = info.module
+            table = self.table_of(module)
+            local_classes = {
+                stmt.name
+                for stmt in module.tree.body
+                if isinstance(stmt, ast.ClassDef)
+            }
+            for item in info.node.body:
+                if not (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name == "__init__"
+                ):
+                    continue
+                param_types: dict[str, str] = {}
+                for arg in item.args.posonlyargs + item.args.args + item.args.kwonlyargs:
+                    for name in _annotation_classes(arg.annotation):
+                        cls = self._class_of_name(name, table, module, local_classes)
+                        if cls is not None:
+                            param_types.setdefault(arg.arg, cls)
+                for sub in ast.walk(item):
+                    if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        continue
+                    targets = (
+                        sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                    )
+                    value = sub.value
+                    if value is None:
+                        continue
+                    for target in targets:
+                        if not (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            continue
+                        cls = None
+                        # Constructor call anywhere in the value expression
+                        # (covers ``x if x is not None else C()``).
+                        for node in ast.walk(value):
+                            if isinstance(node, ast.Call):
+                                cls = self._class_of_expr(
+                                    node.func, table, module, local_classes
+                                )
+                                if cls is not None:
+                                    break
+                        if cls is None and isinstance(value, ast.Name):
+                            cls = param_types.get(value.id)
+                        if cls is not None:
+                            self.attr_types.setdefault(
+                                (cls_qualname, target.attr), cls
+                            )
+
+    # ----------------------------------------------------------- resolution
+    def _class_of_name(
+        self,
+        name: str,
+        table: dict[str, str],
+        module: ModuleInfo,
+        local_classes: set[str],
+    ) -> str | None:
+        if name in local_classes:
+            return f"{module.dotted}.{name}"
+        dotted = _canonical(table.get(name, ""), self.reexports)
+        if dotted in self.class_graph:
+            return dotted
+        return None
+
+    def _class_of_expr(
+        self,
+        func: ast.expr,
+        table: dict[str, str],
+        module: ModuleInfo,
+        local_classes: set[str],
+    ) -> str | None:
+        if isinstance(func, ast.Name):
+            return self._class_of_name(func.id, table, module, local_classes)
+        dotted = resolve_dotted(func, table)
+        if dotted is None:
+            return None
+        dotted = _canonical(dotted, self.reexports)
+        return dotted if dotted in self.class_graph else None
+
+    def methods_of(self, cls: str, name: str) -> tuple[str, ...]:
+        """Implementations ``name`` may dispatch to for a ``cls`` receiver.
+
+        The MRO resolution for the static class, plus every override in a
+        subclass (the receiver's runtime class may be anything below
+        ``cls``).  Sorted for determinism.
+        """
+        targets: set[str] = set()
+        resolved = self.method_table.get(cls, {}).get(name)
+        if resolved is not None and resolved in self.functions:
+            targets.add(resolved)
+        for sub in self.subclasses.get(cls, ()):
+            override = f"{sub}.{name}"
+            if override in self.functions:
+                targets.add(override)
+        return tuple(sorted(targets))
+
+    def _resolve_calls(self, fn: FunctionInfo) -> tuple[CallSite, ...]:
+        module = fn.module
+        table = self.table_of(module)
+        local_classes = {
+            stmt.name
+            for stmt in module.tree.body
+            if isinstance(stmt, ast.ClassDef)
+        }
+        self_name = _first_param(fn.node) if fn.is_method else None
+        sites: list[CallSite] = []
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = self._resolve_one(
+                node, fn, table, module, local_classes, self_name
+            )
+            if site is not None:
+                sites.append(site)
+        sites.sort(key=lambda s: (s.node.lineno, s.node.col_offset))
+        return tuple(sites)
+
+    def _resolve_one(
+        self,
+        node: ast.Call,
+        fn: FunctionInfo,
+        table: dict[str, str],
+        module: ModuleInfo,
+        local_classes: set[str],
+        self_name: str | None,
+    ) -> CallSite | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # Local function, imported function, or class constructor.
+            name = func.id
+            local = f"{module.dotted}.{name}"
+            if local in self.functions:
+                return CallSite(node, (local,), name, on_self=False)
+            cls = self._class_of_name(name, table, module, local_classes)
+            if cls is not None:
+                init = self.method_table.get(cls, {}).get("__init__")
+                targets = (
+                    (init,) if init is not None and init in self.functions else ()
+                )
+                return CallSite(node, targets, cls, on_self=False)
+            dotted = _canonical(table.get(name, name), self.reexports)
+            if dotted in self.functions:
+                return CallSite(node, (dotted,), dotted, on_self=False)
+            return CallSite(node, (), dotted, on_self=False)
+        if not isinstance(func, ast.Attribute):
+            return CallSite(node, (), "<dynamic>", on_self=False)
+        attr = func.attr
+        receiver = func.value
+        # self.m(...) / cls.m(...): hierarchy-aware dispatch.
+        if (
+            isinstance(receiver, ast.Name)
+            and self_name is not None
+            and receiver.id == self_name
+            and fn.cls is not None
+        ):
+            return CallSite(
+                node, self.methods_of(fn.cls, attr), attr, on_self=True
+            )
+        # self.<attr>.m(...): constructor-typed attribute dispatch.
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and self_name is not None
+            and receiver.value.id == self_name
+            and fn.cls is not None
+        ):
+            owner = self.attr_types.get((fn.cls, receiver.attr))
+            if owner is None:
+                for base in _ancestors(fn.cls, self.class_graph):
+                    owner = self.attr_types.get(
+                        (_canonical(base, self.reexports), receiver.attr)
+                    )
+                    if owner is not None:
+                        break
+            if owner is not None:
+                return CallSite(
+                    node, self.methods_of(owner, attr), attr, on_self=False
+                )
+            return CallSite(node, (), attr, on_self=False)
+        dotted = resolve_dotted(func, table)
+        if dotted is not None:
+            dotted = _canonical(dotted, self.reexports)
+            if dotted in self.functions:
+                return CallSite(node, (dotted,), dotted, on_self=False)
+            # SINGLETON.m(...) -> method of the singleton's class; also
+            # SINGLETON.attr.m(...) via the constructor-typed attributes.
+            prefix, _, method = dotted.rpartition(".")
+            prefix = _canonical(prefix, self.reexports)
+            owner = self.singletons.get(prefix)
+            if owner is None:
+                head, _, mid = prefix.rpartition(".")
+                head = _canonical(head, self.reexports)
+                via = self.singletons.get(head)
+                if via is not None:
+                    owner = self.attr_types.get((via, mid))
+            if owner is not None:
+                return CallSite(
+                    node, self.methods_of(owner, method), method, on_self=False
+                )
+            # ClassName.m(...) explicit class receiver.
+            if prefix in self.class_graph:
+                return CallSite(
+                    node, self.methods_of(prefix, method), method, on_self=False
+                )
+        # Unresolved: keep the dotted spelling when the chain is rooted in
+        # an import (``time.sleep``), the bare attribute otherwise
+        # (``model.partial_fit`` on an arbitrary object).
+        base: ast.expr = func
+        while isinstance(base, ast.Attribute):
+            base = base.value
+        if (
+            dotted is not None
+            and isinstance(base, ast.Name)
+            and base.id in table
+        ):
+            return CallSite(node, (), dotted, on_self=False)
+        return CallSite(node, (), attr, on_self=False)
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Build (and fully resolve) the call graph of a project."""
+    return CallGraph(project)

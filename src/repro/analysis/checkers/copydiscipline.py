@@ -1,0 +1,82 @@
+"""CPY -- copy/validation discipline on the hot paths.
+
+The zero-copy batch path (ROADMAP item 5) starts with a map of where
+arrays are redundantly copied or re-validated today.  This pass is that
+map, as a lint rule: using the dataflow engine's local fresh/validated
+tracking plus the call graph, it flags validation work whose input is
+provably already validated (or freshly owned) somewhere upstream.
+
+``CPY001`` fires in two shapes:
+
+* **fresh re-validation** -- ``np.asarray(x)`` / ``x.copy()`` applied to
+  a value the local dataflow already proved freshly owned (the result of
+  ``np.array``/``.copy()``/a constructor that only returns fresh arrays);
+* **redundant defensive parameter validation** -- ``X = np.asarray(X)``
+  on a parameter whose every later use either re-validates it downstream
+  (a resolved callee that runs its own ``asarray``, or a
+  ``predict``/``predict_proba``/``partial_fit`` contract call), or is a
+  shape/len/slice read that works on the un-validated value too.
+
+The rule is restricted to the serving/evaluation/streams layers -- the
+stream -> scenario -> model -> evaluator pipeline -- because model-layer
+``asarray`` calls *are* the downstream validation the rule credits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Checker, Finding, Project, Rule
+
+#: Layers whose functions are hot-path *callers* (their inputs reach a
+#: validating model/metric boundary downstream).
+HOT_LAYERS = frozenset({"serving", "evaluation", "streams"})
+
+
+def _short(qualname: str) -> str:
+    return ".".join(qualname.rsplit(".", 2)[-2:])
+
+
+class CopyDisciplineChecker(Checker):
+    name = "copy-discipline"
+    rules = (
+        Rule(
+            "CPY001",
+            "redundant array copy/validation on a hot path",
+            "ROADMAP item 5 (zero-copy batch path): asarray/copy applied "
+            "to a value that is provably already validated or freshly "
+            "owned burns memory bandwidth for nothing",
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import shared_engine
+
+        engine = shared_engine(project)
+        for qualname in sorted(engine.summaries):
+            fn = engine.graph.functions[qualname]
+            if fn.module.layer not in HOT_LAYERS:
+                continue
+            for reval in engine.summaries[qualname].revalidations:
+                if reval.source == "fresh":
+                    message = (
+                        f"'{reval.name}' in {_short(qualname)} is already "
+                        f"a freshly-owned array here; the {reval.via} "
+                        "re-validation is a redundant copy/pass"
+                    )
+                elif reval.source == "param" and reval.uses_safe:
+                    message = (
+                        f"parameter '{reval.name}' of {_short(qualname)} "
+                        f"is re-validated via {reval.via}, but every "
+                        "downstream use validates it again (or needs no "
+                        "ndarray); drop the defensive copy"
+                    )
+                else:
+                    continue
+                yield Finding(
+                    path=fn.module.rel,
+                    line=reval.line,
+                    col=reval.col,
+                    rule="CPY001",
+                    message=message,
+                )

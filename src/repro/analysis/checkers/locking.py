@@ -1,0 +1,262 @@
+"""LCK -- static race detection for the serving/telemetry stack.
+
+The serving layer (ROADMAP item 1) is only correct if every shared field
+of a lock-owning class is touched under its lock.  These rules encode
+that contract statically, using the interprocedural dataflow engine so a
+method that mutates state only through a private helper -- or a lock
+acquired three calls deep -- is still seen.
+
+``LCK001``
+    A *shared field* of a lock-owning class (one that assigns
+    ``self._lock = threading.Lock()``/``RLock()``) is accessed outside a
+    ``with self._lock:`` block.  A field is shared when its *effective*
+    (call-graph-transitive) writers span two or more non-``__init__``
+    methods, or when it is written in one method and read in another.
+    Guard facts propagate through private helpers: a ``_helper`` whose
+    every in-class call site holds the lock is itself treated as locked.
+
+``LCK002``
+    Two locks are acquired in opposite orders on different call paths
+    (the classic ABBA deadlock).  Lock-acquisition pairs are collected
+    transitively: holding ``ModelRegistry._lock`` while a telemetry call
+    three frames down acquires ``MetricsRegistry._lock`` records the pair
+    ``(registry, metrics)``.
+
+``LCK003``
+    A blocking operation -- file IO (``open``/``os.fdopen``/``os.fsync``/
+    ``os.replace``), ``time.sleep``, or a model ``partial_fit`` -- is
+    reachable while a lock is held.  Latency under a lock serialises every
+    scorer thread behind the slowest IO.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.core import Checker, Finding, Project, Rule
+
+if TYPE_CHECKING:  # deferred: dataflow imports callgraph, which imports
+    from repro.analysis.dataflow import DataflowEngine  # this package
+
+#: Methods whose writes never race: construction and (un)pickling happen
+#: before the object is published to other threads.
+INIT_METHODS = frozenset(
+    {"__init__", "__post_init__", "__getstate__", "__setstate__"}
+)
+
+
+def _short(qualname: str) -> str:
+    """``pkg.mod.Class.method`` -> ``Class.method`` for messages."""
+    return ".".join(qualname.rsplit(".", 2)[-2:])
+
+
+class LockDisciplineChecker(Checker):
+    name = "lock-discipline"
+    rules = (
+        Rule(
+            "LCK001",
+            "shared field of a lock-owning class accessed outside its lock",
+            "serving/telemetry contract: every field written from two or "
+            "more methods (or written in one and read in another) of a "
+            "class owning a threading.Lock must be touched under the lock",
+        ),
+        Rule(
+            "LCK002",
+            "inconsistent lock-acquisition order across classes",
+            "two locks taken in opposite orders on different call paths "
+            "can deadlock; the tree pins one global order",
+        ),
+        Rule(
+            "LCK003",
+            "blocking call while holding a lock",
+            "file IO, sleeps, and model training serialise every other "
+            "thread behind the lock; move them outside the critical "
+            "section or justify via baseline",
+        ),
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        from repro.analysis.dataflow import shared_engine
+
+        engine = shared_engine(project)
+        yield from self._check_shared_fields(engine)
+        yield from self._check_lock_order(engine)
+        yield from self._check_blocking(engine)
+
+    # ------------------------------------------------------------- LCK001
+    def _check_shared_fields(self, engine: DataflowEngine) -> Iterator[Finding]:
+        for cls in sorted(engine.graph.class_graph):
+            locks = engine.lock_attrs.get(cls, frozenset())
+            if not locks:
+                continue
+            methods = sorted(
+                qualname
+                for qualname, fn in engine.graph.functions.items()
+                if fn.cls == cls
+            )
+            tokens = {f"{cls}.{attr}" for attr in locks}
+            shared = self._shared_fields(engine, cls, methods, locks)
+            if not shared:
+                continue
+            guarded = self._guarded_helpers(engine, cls, methods, tokens)
+            for qualname in methods:
+                fn = engine.graph.functions[qualname]
+                if fn.name in INIT_METHODS or qualname in guarded:
+                    continue
+                summary = engine.summaries[qualname]
+                reported: set[str] = set()
+                for access in summary.accesses:
+                    if access.attr not in shared or access.attr in reported:
+                        continue
+                    if tokens & access.locks:
+                        continue
+                    reported.add(access.attr)
+                    lock_name = sorted(locks)[0]
+                    yield Finding(
+                        path=fn.module.rel,
+                        line=access.line,
+                        col=access.col,
+                        rule="LCK001",
+                        message=(
+                            f"shared field '{access.attr}' of lock-owning "
+                            f"class {_short(cls)} is "
+                            f"{'written' if access.kind == 'write' else 'read'} "
+                            f"in {fn.name} outside 'with self.{lock_name}'"
+                        ),
+                    )
+
+    def _shared_fields(
+        self,
+        engine: DataflowEngine,
+        cls: str,
+        methods: list[str],
+        locks: frozenset[str],
+    ) -> frozenset[str]:
+        writers: dict[str, set[str]] = {}
+        readers: dict[str, set[str]] = {}
+        for qualname in methods:
+            fn = engine.graph.functions[qualname]
+            if fn.name in INIT_METHODS:
+                continue
+            facts = engine.facts[qualname]
+            for attr in facts.writes_self:
+                writers.setdefault(attr, set()).add(qualname)
+            for attr in facts.reads_self:
+                readers.setdefault(attr, set()).add(qualname)
+        shared: set[str] = set()
+        for attr, writing in writers.items():
+            if attr in locks:
+                continue
+            if len(writing) >= 2:
+                shared.add(attr)
+            elif any(reader not in writing for reader in readers.get(attr, ())):
+                shared.add(attr)
+        return frozenset(shared)
+
+    def _guarded_helpers(
+        self,
+        engine: DataflowEngine,
+        cls: str,
+        methods: list[str],
+        tokens: set[str],
+    ) -> frozenset[str]:
+        """Private methods provably only ever called with the lock held."""
+        callers: dict[str, list[tuple[str, frozenset[str]]]] = {}
+        for qualname in methods:
+            for call in engine.summaries[qualname].calls:
+                if not call.site.on_self:
+                    continue
+                for target in call.site.targets:
+                    fn = engine.graph.functions.get(target)
+                    if fn is not None and fn.cls == cls:
+                        callers.setdefault(target, []).append(
+                            (qualname, call.locks)
+                        )
+        guarded = {
+            qualname
+            for qualname in methods
+            if engine.graph.functions[qualname].name.startswith("_")
+            and not engine.graph.functions[qualname].name.startswith("__")
+            and callers.get(qualname)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname in sorted(guarded):
+                ok = all(
+                    bool(tokens & locks) or caller in guarded
+                    for caller, locks in callers.get(qualname, [])
+                )
+                if not ok:
+                    guarded.discard(qualname)
+                    changed = True
+        return frozenset(guarded)
+
+    # ------------------------------------------------------------- LCK002
+    def _check_lock_order(self, engine: DataflowEngine) -> Iterator[Finding]:
+        all_pairs: set[tuple[str, str]] = set()
+        for qualname in sorted(engine.facts):
+            all_pairs |= engine.facts[qualname].lock_pairs
+        reversed_pairs = {
+            pair for pair in all_pairs if (pair[1], pair[0]) in all_pairs
+        }
+        if not reversed_pairs:
+            return
+        for qualname in sorted(engine.summaries):
+            summary = engine.summaries[qualname]
+            fn = engine.graph.functions[qualname]
+            own_pairs = set(summary.lock_pairs)
+            for call in summary.calls:
+                for target in call.site.targets:
+                    callee = engine.facts.get(target)
+                    if callee is None:
+                        continue
+                    own_pairs |= {
+                        (held, acquired)
+                        for held in call.locks
+                        for acquired in callee.locks
+                        if held != acquired
+                    }
+            for held, acquired in sorted(own_pairs & reversed_pairs):
+                yield Finding(
+                    path=fn.module.rel,
+                    line=fn.node.lineno,
+                    col=fn.node.col_offset,
+                    rule="LCK002",
+                    message=(
+                        f"{_short(qualname)} acquires {_short(acquired)} "
+                        f"while holding {_short(held)}, but the reverse "
+                        "order also exists in the tree (ABBA deadlock risk)"
+                    ),
+                )
+
+    # ------------------------------------------------------------- LCK003
+    def _check_blocking(self, engine: DataflowEngine) -> Iterator[Finding]:
+        from repro.analysis.dataflow import BLOCKING_RAW
+
+        for qualname in sorted(engine.summaries):
+            summary = engine.summaries[qualname]
+            fn = engine.graph.functions[qualname]
+            for call in summary.calls:
+                if not call.locks:
+                    continue
+                direct = call.site.raw in BLOCKING_RAW
+                transitive = any(
+                    engine.facts[target].blocking
+                    for target in call.site.targets
+                    if target in engine.facts
+                )
+                if not (direct or transitive):
+                    continue
+                held = sorted(_short(token) for token in call.locks)
+                yield Finding(
+                    path=fn.module.rel,
+                    line=call.line,
+                    col=call.col,
+                    rule="LCK003",
+                    message=(
+                        f"blocking call '{call.site.raw}' in "
+                        f"{_short(qualname)} while holding "
+                        f"{', '.join(held)}"
+                    ),
+                )

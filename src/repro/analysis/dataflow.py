@@ -1,0 +1,1093 @@
+"""Summary-based dataflow engine over the project call graph.
+
+Each function in the tree gets one intraprocedural :class:`FunctionSummary`
+-- which ``self`` attributes it reads and writes (and under which locks),
+which parameters it mutates or re-validates, which locks it acquires,
+whether it performs blocking IO, where it mutates *borrowed* arrays (values
+obtained from ``peek_rows``/``_source``, which alias a wrapped stream's
+block cache) -- and the engine then propagates those facts over the call
+graph to a fixpoint (:class:`Facts`): a method that mutates state only via
+a private helper is still known to mutate it, a lock acquired three calls
+deep still pairs with the lock the outermost caller holds.
+
+The intraprocedural pass is a source-order walk that is deliberately
+*optimistic* about control flow: a rebind like ``X = X.copy()`` clears the
+borrowed/parameter status of ``X`` from that point on even when it sits in
+a conditional (the ``copied``-flag idiom of the scenario transforms).  The
+interprocedural pass is a may-analysis: virtual dispatch unions the facts
+of every override, and calls the graph cannot resolve are recorded as
+unknown (optimistically pure, except for the explicit numpy mutators).
+
+Determinism: summaries are pure functions of each module's AST, the
+fixpoint joins are commutative unions, and every solver loop iterates
+qualified names in sorted order -- so analysis output is byte-identical
+under module-order shuffling, like the rest of repro-lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import CallGraph, CallSite, FunctionInfo
+from repro.analysis.checkers.persistence import _ancestors, _canonical
+from repro.analysis.core import Project, resolve_dotted
+
+#: Method names whose call mutates the receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "fill",
+        "insert",
+        "itemset",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: numpy functions that mutate their first argument in place.
+NP_ARG_MUTATORS = frozenset(
+    {
+        "numpy.copyto",
+        "numpy.put",
+        "numpy.place",
+        "numpy.putmask",
+        "numpy.fill_diagonal",
+    }
+)
+
+#: numpy constructors whose result is always a freshly-owned array.
+NP_FRESH = frozenset(
+    {
+        "numpy.arange",
+        "numpy.array",
+        "numpy.concatenate",
+        "numpy.empty",
+        "numpy.full",
+        "numpy.hstack",
+        "numpy.linspace",
+        "numpy.ones",
+        "numpy.repeat",
+        "numpy.sort",
+        "numpy.stack",
+        "numpy.tile",
+        "numpy.unique",
+        "numpy.vstack",
+        "numpy.where",
+        "numpy.zeros",
+    }
+)
+
+#: Validators: re-validation/copy entry points the CPY rule reasons about.
+NP_VALIDATORS = frozenset({"numpy.asarray", "numpy.ascontiguousarray"})
+
+#: Calls that may block (IO, sleeps) or train a model -- none of which
+#: belongs under a lock.  ``raw`` spellings of call sites: builtins and
+#: dotted names for direct calls, bare attribute names for method calls.
+BLOCKING_RAW = frozenset(
+    {"open", "os.fdopen", "os.fsync", "os.replace", "time.sleep", "partial_fit"}
+)
+
+#: Methods returning arrays that may alias an internal cache ("borrowed"
+#: arrays: readable, but a copy is required before any mutation).
+BORROW_PRODUCERS = frozenset({"peek_rows", "_source", "_block"})
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.<attr>`` access inside a method."""
+
+    attr: str
+    kind: str  #: ``"read"`` or ``"write"``
+    line: int
+    col: int
+    locks: frozenset[str]  #: lock tokens (``Class._lock``) held at the access
+
+
+@dataclass(frozen=True)
+class ArgBinding:
+    """A plain-name argument at a call site, with its flow status."""
+
+    slot: int | str  #: positional index (receiver excluded) or keyword name
+    name: str
+    is_param: bool  #: still bound to the caller's own (unrebound) parameter
+    is_borrowed: bool  #: currently borrowed (may alias a stream cache)
+
+
+@dataclass(frozen=True)
+class Call:
+    """A call site enriched with the dataflow context at the call."""
+
+    site: CallSite
+    line: int
+    col: int
+    locks: frozenset[str]
+    args: tuple[ArgBinding, ...]
+
+
+@dataclass(frozen=True)
+class BorrowMutation:
+    """A direct in-place mutation of a borrowed array."""
+
+    name: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class Revalidation:
+    """A candidate redundant re-validation/copy (CPY001 raw material)."""
+
+    name: str  #: the local being re-validated
+    line: int
+    col: int
+    via: str  #: ``numpy.asarray`` / ``numpy.ascontiguousarray`` / ``copy``
+    #: ``"param"``: a parameter defensively re-validated by its own function
+    #: (redundant only if every later use is proven safe -- see checker);
+    #: ``"fresh"``: the value was already locally proven fresh/validated.
+    source: str
+    uses_safe: bool  #: for ``param``: every later use re-validates downstream
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Intraprocedural facts of one function."""
+
+    qualname: str
+    params: tuple[str, ...]  #: parameter names, receiver excluded for methods
+    accesses: tuple[Access, ...]
+    calls: tuple[Call, ...]
+    writes_self: frozenset[str]
+    reads_self: frozenset[str]
+    writes_globals: frozenset[str]
+    mutated_params: frozenset[str]
+    validated_params: frozenset[str]
+    acquired_locks: frozenset[str]
+    lock_pairs: frozenset[tuple[str, str]]
+    blocking: bool
+    calls_unknown: bool
+    borrow_mutations: tuple[BorrowMutation, ...]
+    revalidations: tuple[Revalidation, ...]
+
+
+@dataclass(frozen=True)
+class Facts:
+    """Interprocedural closure of a function's effects (may-analysis)."""
+
+    writes_self: frozenset[str] = frozenset()
+    #: ``writes_self`` minus each *writer's own* ``_repro_transient``
+    #: declaration, filtered at the source before propagation -- the purity
+    #: checkers' view, where a subclass's transient cache write deep in a
+    #: dispatch chain is not impurity.
+    impure_writes_self: frozenset[str] = frozenset()
+    reads_self: frozenset[str] = frozenset()
+    writes_globals: frozenset[str] = frozenset()
+    mutated_params: frozenset[str] = frozenset()
+    locks: frozenset[str] = frozenset()
+    lock_pairs: frozenset[tuple[str, str]] = frozenset()
+    blocking: bool = False
+    borrow_mutation: bool = False
+
+
+def transient_of(cls: str, graph: CallGraph) -> frozenset[str]:
+    """Union of ``_repro_transient`` declarations along a class's MRO."""
+    allowed: set[str] = set()
+    for qualname in [cls] + [
+        _canonical(base, graph.reexports)
+        for base in _ancestors(cls, graph.class_graph)
+    ]:
+        info = graph.class_graph.get(qualname)
+        if info is not None:
+            allowed.update(info.transient)
+    return frozenset(allowed)
+
+
+def lock_attrs_of(cls: str, graph: CallGraph) -> frozenset[str]:
+    """Attribute names assigned ``threading.Lock()``/``RLock()`` in ``cls``.
+
+    The MRO is searched so subclasses of a lock-owning class inherit its
+    lock attributes.
+    """
+    names: set[str] = set()
+    for qualname in [cls] + [
+        _canonical(base, graph.reexports)
+        for base in _ancestors(cls, graph.class_graph)
+    ]:
+        info = graph.class_graph.get(qualname)
+        if info is None:
+            continue
+        table = graph.table_of(info.module)
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            dotted = resolve_dotted(node.value.func, table)
+            if dotted not in ("threading.Lock", "threading.RLock"):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    names.add(target.attr)
+    return frozenset(names)
+
+
+def _params_of(fn: FunctionInfo) -> tuple[str, ...]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if fn.is_method and names:
+        names = names[1:]
+    return tuple(names)
+
+
+def _receiver_name(fn: FunctionInfo) -> str | None:
+    if not fn.is_method:
+        return None
+    args = fn.node.args
+    all_args = args.posonlyargs + args.args
+    return all_args[0].arg if all_args else None
+
+
+def _root_of(node: ast.expr) -> ast.expr:
+    """Peel attribute/subscript layers down to the base expression."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+class _Scanner:
+    """Source-order walk of one function body collecting a summary."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        graph: CallGraph,
+        sites: dict[int, CallSite],
+        lock_names: frozenset[str],
+        fresh_functions: frozenset[str],
+        callee_summaries: dict[str, "FunctionSummary"] | None = None,
+    ) -> None:
+        self.fn = fn
+        self.graph = graph
+        self.sites = sites
+        self.lock_names = lock_names
+        self.fresh_functions = fresh_functions
+        self._callee_summaries: dict[str, FunctionSummary] = (
+            callee_summaries if callee_summaries is not None else {}
+        )
+        self.table = graph.table_of(fn.module)
+        self.self_name = _receiver_name(fn)
+        self.params = _params_of(fn)
+        self.lock_token = f"{fn.cls}." if fn.cls else ""
+        self.accesses: list[Access] = []
+        self.calls: list[Call] = []
+        self.writes_self: set[str] = set()
+        self.reads_self: set[str] = set()
+        self.writes_globals: set[str] = set()
+        self.mutated_params: set[str] = set()
+        self.validated_params: set[str] = set()
+        self.acquired: set[str] = set()
+        self.lock_pairs: set[tuple[str, str]] = set()
+        self.blocking = False
+        self.calls_unknown = False
+        self.borrow_mutations: list[BorrowMutation] = []
+        self.revalidations: list[Revalidation] = []
+        # Flow state (optimistic, source order).
+        self.live_params: set[str] = set(self.params)
+        #: every name ever bound locally; a mutating method call on a name
+        #: outside this set mutates module-level (global) state
+        self.local_names: set[str] = set(self.params)
+        self.borrowed: set[str] = set()
+        self.fresh: set[str] = set()
+        self.validated: set[str] = set()
+        self.alias: dict[str, str] = {}  #: local name -> self attr
+        self.globals_declared: set[str] = set()
+        #: (param, line, col, via) candidates; use-safety resolved at the end
+        self._param_revals: list[tuple[str, int, int, str]] = []
+        self._param_reval_uses: dict[str, list[ast.Name]] = {}
+        self._call_parents: dict[int, ast.AST] = {}
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> FunctionSummary:
+        parents: dict[int, ast.AST] = {}
+        for node in ast.walk(self.fn.node):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+        self._parents = parents
+        for stmt in self.fn.node.body:
+            self._stmt(stmt, frozenset())
+        revals = list(self.revalidations)
+        for param, line, col, via in self._param_revals:
+            uses = self._param_reval_uses.get(param, [])
+            after = [use for use in uses if use.lineno > line]
+            safe = bool(after) and all(self._use_is_safe(use) for use in after)
+            revals.append(
+                Revalidation(
+                    name=param,
+                    line=line,
+                    col=col,
+                    via=via,
+                    source="param",
+                    uses_safe=safe,
+                )
+            )
+        revals.sort(key=lambda r: (r.line, r.col, r.name))
+        return FunctionSummary(
+            qualname=self.fn.qualname,
+            params=self.params,
+            accesses=tuple(self.accesses),
+            calls=tuple(self.calls),
+            writes_self=frozenset(self.writes_self),
+            reads_self=frozenset(self.reads_self),
+            writes_globals=frozenset(self.writes_globals),
+            mutated_params=frozenset(self.mutated_params),
+            validated_params=frozenset(self.validated_params),
+            acquired_locks=frozenset(self.acquired),
+            lock_pairs=frozenset(self.lock_pairs),
+            blocking=self.blocking,
+            calls_unknown=self.calls_unknown,
+            borrow_mutations=tuple(self.borrow_mutations),
+            revalidations=tuple(revals),
+        )
+
+    # ----------------------------------------------------------- statements
+    def _stmt(self, stmt: ast.stmt, locks: frozenset[str]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested definitions: analysed when (if) indexed
+        if isinstance(stmt, ast.Global):
+            self.globals_declared.update(stmt.names)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            new_locks = set()
+            for item in stmt.items:
+                ctx = item.context_expr
+                self._expr(ctx, locks)
+                attr = self._lock_attr(ctx)
+                if attr is not None:
+                    token = f"{self.lock_token}{attr}"
+                    self.acquired.add(token)
+                    for held in locks | frozenset(new_locks):
+                        if held != token:
+                            self.lock_pairs.add((held, token))
+                    new_locks.add(token)
+            inner = locks | frozenset(new_locks)
+            for sub in stmt.body:
+                self._stmt(sub, inner)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assignment(stmt, locks)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._write_target(target, locks, is_aug=False)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, locks)
+            self._bind_plain(stmt.target, None, locks)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, locks)
+            return
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, locks)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, locks)
+            return
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, locks)
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, locks)
+            return
+        if isinstance(stmt, ast.Try):
+            for sub in stmt.body:
+                self._stmt(sub, locks)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub, locks)
+            for sub in stmt.orelse + stmt.finalbody:
+                self._stmt(sub, locks)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, locks)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, locks)
+            return
+        for node in ast.iter_child_nodes(stmt):
+            if isinstance(node, ast.expr):
+                self._expr(node, locks)
+
+    def _lock_attr(self, ctx: ast.expr) -> str | None:
+        if (
+            isinstance(ctx, ast.Attribute)
+            and isinstance(ctx.value, ast.Name)
+            and self.self_name is not None
+            and ctx.value.id == self.self_name
+            and ctx.attr in self.lock_names
+        ):
+            return ctx.attr
+        return None
+
+    # ---------------------------------------------------------- assignments
+    def _assignment(
+        self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign, locks: frozenset[str]
+    ) -> None:
+        value = stmt.value
+        if value is not None:
+            self._expr(value, locks)
+        targets = (
+            stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        )
+        is_aug = isinstance(stmt, ast.AugAssign)
+        for target in targets:
+            self._write_target(target, locks, is_aug=is_aug)
+            if value is not None and not is_aug:
+                self._bind_plain(target, value, locks)
+
+    def _write_target(
+        self, target: ast.expr, locks: frozenset[str], is_aug: bool
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._write_target(element, locks, is_aug)
+            return
+        if isinstance(target, ast.Starred):
+            self._write_target(target.value, locks, is_aug)
+            return
+        if isinstance(target, ast.Attribute):
+            root = _root_of(target)
+            if (
+                isinstance(root, ast.Name)
+                and self.self_name is not None
+                and root.id == self.self_name
+            ):
+                # ``self.a = ...`` or ``self.a.b = ...``: find the first
+                # attribute above ``self`` -- that is the mutated field.
+                attr = self._first_attr_above_self(target)
+                if attr is not None:
+                    self._record_self_write(attr, target.lineno, target.col_offset, locks)
+                return
+            if isinstance(root, ast.Name):
+                self._record_name_mutation(root.id, target.lineno, target.col_offset, locks)
+            return
+        if isinstance(target, ast.Subscript):
+            root = _root_of(target)
+            if (
+                isinstance(root, ast.Name)
+                and self.self_name is not None
+                and root.id == self.self_name
+            ):
+                attr = self._first_attr_above_self(target)
+                if attr is not None:
+                    self._record_self_write(attr, target.lineno, target.col_offset, locks)
+                return
+            if isinstance(root, ast.Name):
+                self._record_name_mutation(root.id, target.lineno, target.col_offset, locks)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self.writes_globals.add(target.id)
+            elif is_aug and target.id in self.live_params:
+                # ``X += ...`` rebinding may still mutate in place for
+                # arrays; treat as a parameter mutation to stay safe.
+                self.mutated_params.add(target.id)
+
+    def _first_attr_above_self(self, node: ast.expr) -> str | None:
+        """The attribute name applied directly to ``self`` in a chain."""
+        chain: list[ast.expr] = []
+        cursor = node
+        while isinstance(cursor, (ast.Attribute, ast.Subscript)):
+            chain.append(cursor)
+            cursor = cursor.value
+        for link in reversed(chain):
+            if isinstance(link, ast.Attribute):
+                return link.attr
+        return None
+
+    def _record_self_write(
+        self, attr: str, line: int, col: int, locks: frozenset[str]
+    ) -> None:
+        self.writes_self.add(attr)
+        self.accesses.append(
+            Access(attr=attr, kind="write", line=line, col=col, locks=locks)
+        )
+
+    def _record_name_mutation(
+        self, name: str, line: int, col: int, locks: frozenset[str]
+    ) -> None:
+        if name in self.alias:
+            self._record_self_write(self.alias[name], line, col, locks)
+        if name in self.live_params:
+            self.mutated_params.add(name)
+        if name in self.borrowed:
+            self.borrow_mutations.append(BorrowMutation(name=name, line=line, col=col))
+        if name not in self.local_names or name in self.globals_declared:
+            self.writes_globals.add(name)
+        self.fresh.discard(name)
+        self.validated.discard(name)
+
+    def _bind_plain(
+        self, target: ast.expr, value: ast.expr | None, locks: frozenset[str]
+    ) -> None:
+        """Track local rebinds: aliasing, borrow/fresh/validated status."""
+        if isinstance(target, (ast.Tuple, ast.List)) and value is not None:
+            borrowed = self._is_borrow_producer(value)
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self._clear_local(element.id)
+                    if borrowed:
+                        self.borrowed.add(element.id)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self._clear_local(element.id)
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        self._clear_local(name)
+        if value is None:
+            return
+        # ``x = self.attr``: a mutable alias of a self attribute.
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and self.self_name is not None
+            and value.value.id == self.self_name
+        ):
+            self.alias[name] = value.attr
+            return
+        if self._is_borrow_producer(value):
+            self.borrowed.add(name)
+            return
+        if isinstance(value, ast.Subscript):
+            base = _root_of(value)
+            if isinstance(base, ast.Name) and base.id in self.borrowed:
+                self.borrowed.add(name)  # a view of a borrowed array
+                return
+        if isinstance(value, ast.Name):
+            if value.id in self.borrowed:
+                self.borrowed.add(name)
+            if value.id in self.fresh:
+                self.fresh.add(name)
+            if value.id in self.validated:
+                self.validated.add(name)
+            return
+        if isinstance(value, ast.Call):
+            self._bind_call(name, value, locks)
+
+    def _bind_call(self, name: str, call: ast.Call, locks: frozenset[str]) -> None:
+        func = call.func
+        dotted = resolve_dotted(func, self.table)
+        arg = call.args[0] if call.args else None
+        arg_name = arg.id if isinstance(arg, ast.Name) else None
+        if dotted in NP_VALIDATORS or dotted == "numpy.array":
+            via = dotted or ""
+            if arg_name == name and name in self.params:
+                self._param_revals.append((name, call.lineno, call.col_offset, via))
+            elif arg_name is not None and (
+                arg_name in self.fresh or arg_name in self.validated
+            ):
+                self.revalidations.append(
+                    Revalidation(
+                        name=arg_name,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        via=via,
+                        source="fresh",
+                        uses_safe=True,
+                    )
+                )
+            if dotted == "numpy.array":
+                self.fresh.add(name)
+            self.validated.add(name)
+            return
+        if isinstance(func, ast.Attribute) and func.attr == "copy" and not call.args:
+            receiver = func.value
+            if isinstance(receiver, ast.Name):
+                if receiver.id == name and (
+                    name in self.fresh or name in self.validated
+                ):
+                    # Copying an already-fresh value: only flag when the
+                    # value is *fresh* (copying a merely-validated view is
+                    # legitimate ownership-taking).
+                    if receiver.id in self.fresh:
+                        self.revalidations.append(
+                            Revalidation(
+                                name=receiver.id,
+                                line=call.lineno,
+                                col=call.col_offset,
+                                via="copy",
+                                source="fresh",
+                                uses_safe=True,
+                            )
+                        )
+                elif receiver.id in self.fresh:
+                    self.revalidations.append(
+                        Revalidation(
+                            name=receiver.id,
+                            line=call.lineno,
+                            col=call.col_offset,
+                            via="copy",
+                            source="fresh",
+                            uses_safe=True,
+                        )
+                    )
+            self.fresh.add(name)
+            self.validated.add(name)
+            return
+        if dotted in NP_FRESH:
+            self.fresh.add(name)
+            self.validated.add(name)
+            return
+        site = self.sites.get(id(call))
+        if site is not None and site.targets and all(
+            target in self.fresh_functions for target in site.targets
+        ):
+            self.fresh.add(name)
+            self.validated.add(name)
+
+    def _clear_local(self, name: str) -> None:
+        if name not in self.globals_declared:
+            self.local_names.add(name)
+        self.live_params.discard(name)
+        self.borrowed.discard(name)
+        self.fresh.discard(name)
+        self.validated.discard(name)
+        self.alias.pop(name, None)
+
+    def _is_borrow_producer(self, value: ast.expr) -> bool:
+        return (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in BORROW_PRODUCERS
+        )
+
+    # --------------------------------------------------------- expressions
+    def _expr(self, expr: ast.expr, locks: frozenset[str]) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if (
+                    isinstance(node.value, ast.Name)
+                    and self.self_name is not None
+                    and node.value.id == self.self_name
+                ):
+                    self.reads_self.add(node.attr)
+                    self.accesses.append(
+                        Access(
+                            attr=node.attr,
+                            kind="read",
+                            line=node.lineno,
+                            col=node.col_offset,
+                            locks=locks,
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                self._call(node, locks)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in self.params:
+                    self._param_reval_uses.setdefault(node.id, []).append(node)
+
+    def _call(self, call: ast.Call, locks: frozenset[str]) -> None:
+        func = call.func
+        # In-place mutation through the receiver of a mutating method.
+        if isinstance(func, ast.Attribute) and func.attr in MUTATING_METHODS:
+            root = _root_of(func.value)
+            if (
+                isinstance(root, ast.Name)
+                and self.self_name is not None
+                and root.id == self.self_name
+            ):
+                attr = self._first_attr_above_self(func.value)
+                if attr is not None:
+                    self._record_self_write(attr, call.lineno, call.col_offset, locks)
+            elif isinstance(root, ast.Name) and not (
+                # ``np.sort(...)``: a module *function* named like a
+                # mutating method, not a mutation of the import itself.
+                root.id in self.table
+                and root.id not in self.local_names
+            ):
+                self._record_name_mutation(
+                    root.id, call.lineno, call.col_offset, locks
+                )
+        dotted = resolve_dotted(func, self.table)
+        if dotted in NP_ARG_MUTATORS and call.args:
+            first = call.args[0]
+            if isinstance(first, ast.Name):
+                self._record_name_mutation(
+                    first.id, call.lineno, call.col_offset, locks
+                )
+        for keyword in call.keywords:
+            if keyword.arg == "out" and isinstance(keyword.value, ast.Name):
+                self._record_name_mutation(
+                    keyword.value.id, call.lineno, call.col_offset, locks
+                )
+        site = self.sites.get(id(call))
+        if site is None:
+            return
+        if site.raw in BLOCKING_RAW:
+            self.blocking = True
+        if not site.targets:
+            self.calls_unknown = True
+        bindings: list[ArgBinding] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Name):
+                bindings.append(
+                    ArgBinding(
+                        slot=index,
+                        name=arg.id,
+                        is_param=arg.id in self.live_params,
+                        is_borrowed=arg.id in self.borrowed,
+                    )
+                )
+        for keyword in call.keywords:
+            if keyword.arg is not None and isinstance(keyword.value, ast.Name):
+                bindings.append(
+                    ArgBinding(
+                        slot=keyword.arg,
+                        name=keyword.value.id,
+                        is_param=keyword.value.id in self.live_params,
+                        is_borrowed=keyword.value.id in self.borrowed,
+                    )
+                )
+        self.calls.append(
+            Call(
+                site=site,
+                line=call.lineno,
+                col=call.col_offset,
+                locks=locks,
+                args=tuple(bindings),
+            )
+        )
+
+    # ----------------------------------------------- CPY param-use analysis
+    #: Attribute reads on a value that do not require an ndarray.
+    _SHAPE_ATTRS = frozenset({"shape", "ndim", "dtype", "size"})
+    #: Method-call names on unresolved receivers that re-validate their
+    #: input by project contract (every StreamClassifier implementation
+    #: starts with ``np.asarray``).
+    CONTRACT_VALIDATORS = frozenset({"predict", "predict_proba", "partial_fit"})
+
+    def _use_is_safe(self, use: ast.Name) -> bool:
+        parent = self._parents.get(id(use))
+        if parent is None:
+            return False
+        if isinstance(parent, ast.Call):
+            if use is parent.func:
+                return False
+            func = parent.func
+            if isinstance(func, ast.Name) and func.id == "len":
+                return True
+            if isinstance(func, ast.Attribute):
+                if func.attr in self.CONTRACT_VALIDATORS:
+                    return True
+            site = self.sites.get(id(parent))
+            if site is not None and site.targets:
+                return self._callee_validates(parent, use, site)
+            dotted = resolve_dotted(func, self.table)
+            if dotted in NP_VALIDATORS or dotted == "numpy.array":
+                return True
+            return False
+        if isinstance(parent, ast.keyword):
+            call = self._parents.get(id(parent))
+            if isinstance(call, ast.Call):
+                site = self.sites.get(id(call))
+                if site is not None and site.targets:
+                    return self._callee_validates(call, use, site)
+                func = call.func
+                if isinstance(func, ast.Attribute) and (
+                    func.attr in self.CONTRACT_VALIDATORS
+                ):
+                    return True
+            return False
+        if isinstance(parent, ast.Subscript) and parent.value is use:
+            return isinstance(parent.slice, ast.Slice)
+        if isinstance(parent, ast.Attribute) and parent.attr in self._SHAPE_ATTRS:
+            return True
+        if isinstance(parent, (ast.Compare, ast.BinOp)):
+            # Safe when some other operand is a call result (model output
+            # arrays make elementwise semantics hold for list inputs too).
+            operands: list[ast.expr] = []
+            if isinstance(parent, ast.BinOp):
+                operands = [parent.left, parent.right]
+            else:
+                operands = [parent.left, *parent.comparators]
+            return any(
+                isinstance(op, ast.Call) for op in operands if op is not use
+            )
+        return False
+
+    def _callee_validates(
+        self, call: ast.Call, use: ast.Name, site: CallSite
+    ) -> bool:
+        """Whether every resolved callee re-validates the passed parameter."""
+        for target in site.targets:
+            fn = self.graph.functions.get(target)
+            if fn is None:
+                return False
+            params = _params_of(fn)
+            mapped: str | None = None
+            position = 0
+            for arg in call.args:
+                if arg is use:
+                    mapped = params[position] if position < len(params) else None
+                    break
+                position += 1
+            else:
+                for keyword in call.keywords:
+                    if keyword.value is use and keyword.arg is not None:
+                        mapped = keyword.arg if keyword.arg in params else None
+                        break
+            if mapped is None:
+                return False
+            summary = self._callee_summaries.get(target)
+            if summary is None or mapped not in summary.validated_params:
+                return False
+        return bool(site.targets)
+
+
+def _returns_fresh_fixpoint(graph: CallGraph) -> frozenset[str]:
+    """Functions whose every return value is a provably fresh array."""
+
+    def return_exprs(fn: FunctionInfo) -> list[ast.expr]:
+        values = []
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                values.append(node.value)
+        return values
+
+    tables = {
+        qualname: graph.table_of(fn.module)
+        for qualname, fn in graph.functions.items()
+    }
+    sites_by_fn = {
+        qualname: {id(site.node): site for site in graph.calls[qualname]}
+        for qualname in graph.functions
+    }
+
+    def expr_fresh(
+        expr: ast.expr, qualname: str, fresh: frozenset[str]
+    ) -> bool:
+        if isinstance(expr, ast.Tuple):
+            return bool(expr.elts) and all(
+                expr_fresh(element, qualname, fresh) for element in expr.elts
+            )
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if isinstance(func, ast.Attribute) and func.attr == "copy" and not expr.args:
+            return True
+        dotted = resolve_dotted(func, tables[qualname])
+        if dotted in NP_FRESH:
+            return True
+        site = sites_by_fn[qualname].get(id(expr))
+        if site is not None and site.targets:
+            return all(target in fresh for target in site.targets)
+        return False
+
+    fresh: frozenset[str] = frozenset()
+    returns = {
+        qualname: return_exprs(fn) for qualname, fn in graph.functions.items()
+    }
+    while True:
+        additions = {
+            qualname
+            for qualname in sorted(graph.functions)
+            if qualname not in fresh
+            and returns[qualname]
+            and all(
+                expr_fresh(expr, qualname, fresh) for expr in returns[qualname]
+            )
+        }
+        if not additions:
+            return fresh
+        fresh = fresh | frozenset(additions)
+
+
+class DataflowEngine:
+    """Summaries plus their interprocedural fixpoint for one project."""
+
+    def __init__(self, project: Project, graph: CallGraph | None = None) -> None:
+        self.project = project
+        self.graph = CallGraph(project) if graph is None else graph
+        self.fresh_functions = _returns_fresh_fixpoint(self.graph)
+        self.lock_attrs: dict[str, frozenset[str]] = {
+            cls: lock_attrs_of(cls, self.graph)
+            for cls in sorted(self.graph.class_graph)
+        }
+        self.summaries: dict[str, FunctionSummary] = {}
+        for qualname in sorted(self.graph.functions):
+            fn = self.graph.functions[qualname]
+            sites = {id(site.node): site for site in self.graph.calls[qualname]}
+            lock_names = (
+                self.lock_attrs.get(fn.cls, frozenset())
+                if fn.cls is not None
+                else frozenset()
+            )
+            scanner = _Scanner(
+                fn, self.graph, sites, lock_names, self.fresh_functions
+            )
+            self.summaries[qualname] = scanner.run()
+        # Second pass: the param-use safety check needs every callee
+        # summary, which the first (sorted) pass cannot guarantee; rescan
+        # so ``validated_params`` lookups see the complete table.
+        for qualname in sorted(self.graph.functions):
+            fn = self.graph.functions[qualname]
+            sites = {id(site.node): site for site in self.graph.calls[qualname]}
+            lock_names = (
+                self.lock_attrs.get(fn.cls, frozenset())
+                if fn.cls is not None
+                else frozenset()
+            )
+            scanner = _Scanner(
+                fn,
+                self.graph,
+                sites,
+                lock_names,
+                self.fresh_functions,
+                callee_summaries=self.summaries,
+            )
+            self.summaries[qualname] = scanner.run()
+        self.facts: dict[str, Facts] = self._solve()
+
+    # -------------------------------------------------------------- helpers
+    def callee_params(self, target: str) -> tuple[str, ...]:
+        fn = self.graph.functions.get(target)
+        return _params_of(fn) if fn is not None else ()
+
+    def map_args(self, call: Call, target: str) -> tuple[tuple[str, str], ...]:
+        """(caller local name, callee param name) pairs for one target."""
+        params = self.callee_params(target)
+        pairs: list[tuple[str, str]] = []
+        for binding in call.args:
+            if isinstance(binding.slot, int):
+                if binding.slot < len(params):
+                    pairs.append((binding.name, params[binding.slot]))
+            elif binding.slot in params:
+                pairs.append((binding.name, binding.slot))
+        return tuple(pairs)
+
+    # -------------------------------------------------------------- solving
+    def _solve(self) -> dict[str, Facts]:
+        def own_transient(qualname: str) -> frozenset[str]:
+            cls = self.graph.functions[qualname].cls
+            return transient_of(cls, self.graph) if cls is not None else frozenset()
+
+        facts = {
+            qualname: Facts(
+                writes_self=summary.writes_self,
+                impure_writes_self=summary.writes_self - own_transient(qualname),
+                reads_self=summary.reads_self,
+                writes_globals=summary.writes_globals,
+                mutated_params=summary.mutated_params,
+                locks=summary.acquired_locks,
+                lock_pairs=summary.lock_pairs,
+                blocking=summary.blocking,
+                borrow_mutation=bool(summary.borrow_mutations),
+            )
+            for qualname, summary in self.summaries.items()
+        }
+        changed = True
+        rounds = 0
+        while changed and rounds < 100:
+            changed = False
+            rounds += 1
+            for qualname in sorted(facts):
+                summary = self.summaries[qualname]
+                current = facts[qualname]
+                writes_self = set(current.writes_self)
+                impure_writes_self = set(current.impure_writes_self)
+                reads_self = set(current.reads_self)
+                writes_globals = set(current.writes_globals)
+                mutated_params = set(current.mutated_params)
+                locks = set(current.locks)
+                lock_pairs = set(current.lock_pairs)
+                blocking = current.blocking
+                borrow_mutation = current.borrow_mutation
+                for call in summary.calls:
+                    for target in call.site.targets:
+                        callee = facts.get(target)
+                        if callee is None:
+                            continue
+                        writes_globals |= callee.writes_globals
+                        locks |= callee.locks
+                        lock_pairs |= callee.lock_pairs
+                        lock_pairs |= {
+                            (held, acquired)
+                            for held in call.locks
+                            for acquired in callee.locks
+                            if held != acquired
+                        }
+                        blocking = blocking or callee.blocking
+                        if call.site.on_self:
+                            writes_self |= callee.writes_self
+                            impure_writes_self |= callee.impure_writes_self
+                            reads_self |= callee.reads_self
+                        for caller_name, callee_param in self.map_args(
+                            call, target
+                        ):
+                            if callee_param in callee.mutated_params:
+                                for binding in call.args:
+                                    if binding.name != caller_name:
+                                        continue
+                                    if binding.is_param:
+                                        mutated_params.add(caller_name)
+                                    if binding.is_borrowed:
+                                        borrow_mutation = True
+                updated = Facts(
+                    writes_self=frozenset(writes_self),
+                    impure_writes_self=frozenset(impure_writes_self),
+                    reads_self=frozenset(reads_self),
+                    writes_globals=frozenset(writes_globals),
+                    mutated_params=frozenset(mutated_params),
+                    locks=frozenset(locks),
+                    lock_pairs=frozenset(lock_pairs),
+                    blocking=blocking,
+                    borrow_mutation=borrow_mutation,
+                )
+                if updated != current:
+                    facts[qualname] = updated
+                    changed = True
+        return facts
+
+
+def build_dataflow(project: Project) -> DataflowEngine:
+    """Convenience constructor used by the checkers."""
+    return DataflowEngine(project)
+
+
+_ENGINE_CACHE: "weakref.WeakKeyDictionary[Project, DataflowEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_engine(project: Project) -> DataflowEngine:
+    """One engine per live :class:`Project` so the LCK/PUR/CPY checkers
+    (and the manifest generator) analyse each tree exactly once per run.
+
+    Keyed weakly by the project object; the engine is a pure function of
+    the parsed tree, so sharing cannot leak state between runs -- distinct
+    ``Project`` instances (including shuffled-module copies) never compare
+    equal because their ASTs hash by identity.
+    """
+    engine = _ENGINE_CACHE.get(project)
+    if engine is None:
+        engine = DataflowEngine(project)
+        _ENGINE_CACHE[project] = engine
+    return engine

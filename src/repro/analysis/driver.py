@@ -29,6 +29,9 @@ PACKAGE = "repro"
 def default_checkers() -> tuple[Checker, ...]:
     """The shipped checker plugins, in their fixed execution order."""
     from repro.analysis.checkers import (
+        CopyDisciplineChecker,
+        KernelPurityChecker,
+        LockDisciplineChecker,
         MetricNamingChecker,
         PersistenceChecker,
         RngDisciplineChecker,
@@ -44,6 +47,9 @@ def default_checkers() -> tuple[Checker, ...]:
         PersistenceChecker(),
         VectorizedParityChecker(),
         MetricNamingChecker(),
+        LockDisciplineChecker(),
+        KernelPurityChecker(),
+        CopyDisciplineChecker(),
     )
 
 

@@ -33,25 +33,6 @@ import numpy as np
 from repro.core.gains import approximate_candidate_loss, split_gain
 from repro.telemetry import DMT_CANDIDATES, TELEMETRY
 
-#: Cached admitted/evicted counter handles, stamped with the metric
-#: registry generation they were resolved under (a registry ``clear()``
-#: bumps the generation and invalidates them).  Candidate updates are the
-#: most frequent instrumented site in DMT training, so the labelled
-#: registry lookup is hoisted out of the per-update path.
-_COUNTERS: dict = {"generation": -1}
-
-
-def _telemetry_candidate_counters():
-    registry = TELEMETRY.registry
-    if _COUNTERS["generation"] != registry.generation:
-        _COUNTERS["admitted"] = registry.counter(
-            "repro.dmt.candidates_admitted_total"
-        )
-        _COUNTERS["evicted"] = registry.counter(
-            "repro.dmt.candidates_evicted_total"
-        )
-        _COUNTERS["generation"] = registry.generation
-    return _COUNTERS["admitted"], _COUNTERS["evicted"]
 
 
 @dataclass
@@ -233,7 +214,7 @@ class CandidateManager:
     #: Pure caches skipped by the persistence encoder and rebuilt by
     #: :meth:`_init_transient` (which also migrates legacy payloads that
     #: stored a dict of :class:`CandidateStatistics`).
-    _repro_transient = ("_key_index",)
+    _repro_transient = ("_key_index", "_candidate_counters")
 
     #: Class-level fallback so payloads written before the flag existed load.
     vectorized = True
@@ -278,6 +259,14 @@ class CandidateManager:
     # -------------------------------------------------------------- decoding
     def _init_transient(self) -> None:
         """Rebuild the key index; migrate legacy dict-of-dataclass payloads."""
+        #: Cached admitted/evicted counter handles, stamped with the metric
+        #: registry generation they were resolved under (a registry
+        #: ``clear()`` bumps the generation and invalidates them).
+        #: Candidate updates are the most frequent instrumented site in DMT
+        #: training, so the labelled registry lookup is hoisted out of the
+        #: per-update path.  Instance state (not a module cache) so the
+        #: kernel purity certification stays free of module-level writes.
+        self._candidate_counters: dict = {"generation": -1}
         legacy = self.__dict__.pop("_candidates", None)
         if legacy is not None:
             stats = list(legacy.values())
@@ -305,6 +294,20 @@ class CandidateManager:
                 zip(self._features, self._thresholds)
             )
         }
+
+    def _telemetry_counters(self):
+        """Admitted/evicted counter handles, re-resolved per registry generation."""
+        registry = TELEMETRY.registry
+        cache = self._candidate_counters
+        if cache.get("generation") != registry.generation:
+            cache["admitted"] = registry.counter(
+                "repro.dmt.candidates_admitted_total"
+            )
+            cache["evicted"] = registry.counter(
+                "repro.dmt.candidates_evicted_total"
+            )
+            cache["generation"] = registry.generation
+        return cache["admitted"], cache["evicted"]
 
     # ------------------------------------------------------------ accessors
     def __len__(self) -> int:
@@ -602,7 +605,7 @@ class CandidateManager:
                     n_evicted=len(evicted),
                     n_stored=len(self._features),
                 )
-                admitted_total, evicted_total = _telemetry_candidate_counters()
+                admitted_total, evicted_total = self._telemetry_counters()
                 admitted_total.inc(len(admitted))
                 if evicted:
                     evicted_total.inc(len(evicted))

@@ -7,10 +7,12 @@ time-series plots (Figure 3).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 import numpy as np
 
 
-def summarize_trace(values) -> tuple[float, float]:
+def summarize_trace(values: Iterable[float]) -> tuple[float, float]:
     """Mean and standard deviation of a per-iteration trace."""
     array = np.asarray(list(values), dtype=float)
     if array.size == 0:
@@ -19,7 +21,7 @@ def summarize_trace(values) -> tuple[float, float]:
 
 
 def sliding_window_aggregate(
-    values, window: int = 20
+    values: Iterable[float], window: int = 20
 ) -> tuple[np.ndarray, np.ndarray]:
     """Trailing-window mean and standard deviation of a trace.
 

@@ -48,7 +48,7 @@ class HoldoutResult:
     def n_splits_mean(self) -> float:
         return summarize_trace(self.n_splits_trace)[0]
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         return {
             "model": self.model_name,
             "dataset": self.dataset_name,

@@ -36,6 +36,7 @@ from repro.persistence.mixin import PersistableStateMixin
 from repro.streams.base import Stream
 from repro.streams.scenarios import LabelRealism, label_realism
 from repro.telemetry import EVALUATION_COMPLETED, LABEL_DELAYED_FLUSH, TELEMETRY
+from repro.telemetry.metrics import Histogram
 from repro.utils.validation import check_in_range
 
 
@@ -123,7 +124,7 @@ class PrequentialResult(PersistableStateMixin):
         logs = np.log(np.maximum(np.asarray(self.n_splits_trace, dtype=float), 1e-9))
         return sliding_window_aggregate(logs, window)
 
-    def summary(self) -> dict:
+    def summary(self) -> dict[str, object]:
         """Flat dictionary with the headline numbers of this run."""
         return {
             "model": self.model_name,
@@ -146,7 +147,7 @@ class PrequentialResult(PersistableStateMixin):
             "time_std": self.time_std,
         }
 
-    def deterministic_summary(self) -> dict:
+    def deterministic_summary(self) -> dict[str, object]:
         """:meth:`summary` without the wall-clock time fields.
 
         Everything left is a pure function of (model, stream, seed, batching),
@@ -229,9 +230,9 @@ class PrequentialSession(PersistableStateMixin):
         self._init_transient()
 
     def _init_transient(self) -> None:
-        self._batch_histogram = None
+        self._batch_histogram: Histogram | None = None
 
-    def _telemetry_histogram(self):
+    def _telemetry_histogram(self) -> Histogram:
         if self._batch_histogram is None:
             self._batch_histogram = TELEMETRY.histogram(
                 "repro.evaluation.batch_seconds",

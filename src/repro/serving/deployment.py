@@ -13,6 +13,8 @@ scoring layer picks up on its next request.
 
 from __future__ import annotations
 
+from typing import cast
+
 import numpy as np
 
 from repro.base import StreamClassifier
@@ -23,6 +25,15 @@ from repro.telemetry import SERVING_DRIFT, SERVING_PROMOTION, TELEMETRY
 
 class ChampionChallenger:
     """Shadow-score a challenger and promote it when the champion drifts.
+
+    The deployment loop itself is **single-threaded by design**: exactly one
+    driver thread feeds ``process_batch``.  Concurrency enters only through
+    the registry hot swap -- ``promote`` publishes the challenger via
+    :meth:`ModelRegistry.register`, whose lock makes the swap atomic for
+    scorer threads reading through :class:`~repro.serving.service.
+    ScoringService`.  Shadow counters (``_champion_errors`` & co.) are
+    therefore deliberately unlocked; see ``tests/test_serving_concurrency``
+    for the scorers-vs-swap stress test.
 
     Parameters
     ----------
@@ -77,7 +88,7 @@ class ChampionChallenger:
     @property
     def champion(self) -> StreamClassifier:
         """The currently served model (resolved through the registry)."""
-        return self.registry.get(self.name)
+        return cast(StreamClassifier, self.registry.get(self.name))
 
     @property
     def champion_shadow_accuracy(self) -> float:
@@ -99,14 +110,18 @@ class ChampionChallenger:
         self._challenger_errors = 0.0
         self._shadow_weight = 0.0
 
-    def process_batch(self, X: np.ndarray, y: np.ndarray) -> dict:
+    def process_batch(self, X: np.ndarray, y: np.ndarray) -> dict[str, object]:
         """One prequential step: score, monitor drift, train, maybe promote.
 
         Returns a report with both models' batch accuracy and whether a
         drift was observed / a promotion happened on this batch.
+
+        ``X``/``y`` are passed through as-is: every consumer
+        (``predict``/``partial_fit``) runs its own ``asarray`` validation,
+        so a defensive copy here would be pure memory-bandwidth overhead
+        on the hot path (flagged by CPY001, measured in
+        ``BENCH_scenarios.json``).
         """
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y)
         champion = self.champion
         classes = champion.classes_
 

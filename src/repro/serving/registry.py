@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.telemetry import SERVING_HOT_SWAP, TELEMETRY
 
@@ -25,7 +26,7 @@ class ModelVersion:
     version: int
     model: object
     created_at: float
-    metadata: dict = field(default_factory=dict)
+    metadata: dict[str, object] = field(default_factory=dict)
 
     @property
     def key(self) -> str:
@@ -50,8 +51,8 @@ class ModelRegistry:
     def register(
         self,
         name: str,
-        model,
-        metadata: dict | None = None,
+        model: object,
+        metadata: dict[str, object] | None = None,
         activate: bool = True,
     ) -> ModelVersion:
         """Add a new version of ``name``; optionally make it active."""
@@ -119,7 +120,7 @@ class ModelRegistry:
             self._active.pop(name, None)
 
     # -------------------------------------------------------------- queries
-    def get(self, name: str):
+    def get(self, name: str) -> object:
         """The active model object for ``name``."""
         return self.active_version(name).model
 
@@ -154,7 +155,7 @@ class ModelRegistry:
             return name in self._versions
 
     # ---------------------------------------------------------- persistence
-    def save_active(self, name: str, path) -> str:
+    def save_active(self, name: str, path: str | Path) -> str:
         """Write the active version of ``name`` to a model file."""
         from repro.persistence import save_model
 
@@ -163,8 +164,8 @@ class ModelRegistry:
     def load(
         self,
         name: str,
-        path,
-        metadata: dict | None = None,
+        path: str | Path,
+        metadata: dict[str, object] | None = None,
         activate: bool = True,
     ) -> ModelVersion:
         """Load a model file and register it as a new version of ``name``."""

@@ -15,12 +15,17 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 
 import numpy as np
 
 from repro.serving.registry import ModelRegistry
 from repro.telemetry import TELEMETRY
-from repro.telemetry.metrics import DEFAULT_LATENCY_BUCKETS, Histogram
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+)
 
 
 class ScoringStats:
@@ -69,7 +74,7 @@ class ScoringStats:
     def rows_per_second(self) -> float:
         return self.n_rows / self.latency.sum if self.latency.sum > 0 else 0.0
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         p50, p95, p99 = self.latency.percentiles((0.5, 0.95, 0.99))
         return {
             "n_requests": self.n_requests,
@@ -129,7 +134,9 @@ class ScoringService:
         # registry's generation so a registry clear() invalidates them.  The
         # cache keeps the per-request telemetry cost to three attribute
         # bumps instead of three labelled registry lookups.
-        self._telemetry_handles: dict[str, tuple] = {}
+        self._telemetry_handles: dict[
+            str, tuple[Counter, Counter, Histogram]
+        ] = {}
         self._telemetry_generation = -1
 
     # -------------------------------------------------------------- scoring
@@ -186,29 +193,40 @@ class ScoringService:
             TELEMETRY.tracer._histogram(span_path).observe(elapsed)
         return result
 
-    def _telemetry_for(self, name: str) -> tuple:
-        """Cached (requests, rows, latency) metric handles for one name."""
-        if self._telemetry_generation != TELEMETRY.registry.generation:
-            self._telemetry_handles.clear()
-            self._telemetry_generation = TELEMETRY.registry.generation
-        handles = self._telemetry_handles.get(name)
-        if handles is None:
-            handles = (
-                TELEMETRY.counter("repro.serving.requests_total", model=name),
-                TELEMETRY.counter("repro.serving.rows_total", model=name),
-                TELEMETRY.histogram("repro.serving.latency_seconds", model=name),
-            )
-            self._telemetry_handles[name] = handles
-        return handles
+    def _telemetry_for(
+        self, name: str
+    ) -> tuple[Counter, Counter, Histogram]:
+        """Cached (requests, rows, latency) metric handles for one name.
+
+        The generation check and cache rebuild race against concurrent
+        scorers: one thread clearing the dict while another writes its
+        handles back can resurrect stale-generation handles.  The whole
+        check-clear-create sequence therefore runs under the lock.
+        """
+        with self._lock:
+            if self._telemetry_generation != TELEMETRY.registry.generation:
+                self._telemetry_handles.clear()
+                self._telemetry_generation = TELEMETRY.registry.generation
+            handles = self._telemetry_handles.get(name)
+            if handles is None:
+                handles = (
+                    TELEMETRY.counter("repro.serving.requests_total", model=name),
+                    TELEMETRY.counter("repro.serving.rows_total", model=name),
+                    TELEMETRY.histogram(
+                        "repro.serving.latency_seconds", model=name
+                    ),
+                )
+                self._telemetry_handles[name] = handles
+            return handles
 
     # ------------------------------------------------------------ monitoring
-    def stats(self, name: str) -> dict:
+    def stats(self, name: str) -> dict[str, float]:
         """Counter snapshot for one model name (zeros if never scored)."""
         with self._lock:
             stats = self._stats.get(name)
             return stats.snapshot() if stats else ScoringStats().snapshot()
 
-    def metrics(self) -> dict[str, dict]:
+    def metrics(self) -> dict[str, dict[str, float]]:
         """Counter snapshots for every model name scored so far."""
         with self._lock:
             return {name: stats.snapshot() for name, stats in self._stats.items()}
@@ -222,7 +240,7 @@ class ScoringService:
                 self._stats.pop(name, None)
 
     # ---------------------------------------------------------- persistence
-    def save_stats(self, path) -> str:
+    def save_stats(self, path: str | Path) -> str:
         """Persist the per-model statistics (histograms included) to a file.
 
         The file uses the same versioned format as model files, so serving
@@ -234,7 +252,9 @@ class ScoringService:
             archive = ScoringStatsArchive(self._stats)
             return save_model(archive, path)
 
-    def load_stats(self, path, merge: bool = False) -> "ScoringService":
+    def load_stats(
+        self, path: str | Path, merge: bool = False
+    ) -> "ScoringService":
         """Restore statistics written by :meth:`save_stats`.
 
         With ``merge=False`` (default) the loaded stats replace the current

@@ -247,7 +247,10 @@ class MetricsRegistry:
         kind: str,
     ) -> _M:
         key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
-        metric = self._metrics.get(key)
+        # Deliberate unlocked fast path: dict.get on a key never deleted
+        # outside clear() is safe under CPython's atomic dict reads, and the
+        # slow path re-checks under the lock (classic double-checked lookup).
+        metric = self._metrics.get(key)  # repro-lint: disable=LCK001
         if metric is None:
             with self._lock:
                 metric = self._metrics.get(key)
@@ -286,7 +289,8 @@ class MetricsRegistry:
             self.generation += 1
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     # --------------------------------------------------------------- exports
     def snapshot(self) -> list[dict[str, object]]:

@@ -854,6 +854,35 @@ _DET_FILES = {
         "    def __init__(self):\n"
         "        self._cache = None\n"
     ),
+    # Interprocedural content: LCK001 fires only after the fixpoint
+    # propagates the helper's unguarded write, and PUR002 only after the
+    # kernel's impurity is discovered through a callee -- so the shuffle
+    # test below also pins the dataflow engine's order-independence.
+    "repro/serving/hub.py": (
+        "import threading\n"
+        "class Hub:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._state = {}\n"
+        "    def write(self, key, value):\n"
+        "        with self._lock:\n"
+        "            self._state[key] = value\n"
+        "    def peek(self, key):\n"
+        "        return self._state.get(key)\n"
+    ),
+    "repro/streams/leaky.py": (
+        "class SeededStream:\n"
+        "    def _generate(self, start, count):\n"
+        "        raise NotImplementedError\n"
+        "class Leaky(SeededStream):\n"
+        "    def __init__(self):\n"
+        "        self._hits = 0\n"
+        "    def _bump(self):\n"
+        "        self._hits += 1\n"
+        "    def _generate(self, start, count):\n"
+        "        self._bump()\n"
+        "        return None\n"
+    ),
 }
 
 
